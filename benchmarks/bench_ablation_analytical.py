@@ -1,0 +1,25 @@
+"""ABL3 — related-work analytical baselines vs scale."""
+
+from benchmarks.conftest import emit
+from repro.exps.ablations import analytical_baselines, format_abl3
+from repro.analytical import optimal_process_count, reliability_aware_gustafson
+
+
+def test_ablation_analytical_baselines(benchmark):
+    rows = benchmark.pedantic(lambda: analytical_baselines(), rounds=1, iterations=1)
+    emit(benchmark, "abl3", format_abl3(rows))
+
+    # fault-free Amdahl dominates its FT-aware counterpart everywhere
+    for r in rows:
+        assert r["amdahl"] >= r["amdahl_ft"] * 0.999
+
+    # the related work's headline: a finite optimal process count exists
+    n_opt = optimal_process_count(
+        0.001, node_mtbf=30 * 86400, ckpt_cost=600, law="gustafson", n_max=10**7
+    )
+    assert 1 < n_opt < 10**7
+    s_opt = reliability_aware_gustafson(n_opt, 0.001, 30 * 86400, ckpt_cost=600)
+    s_past = reliability_aware_gustafson(
+        min(n_opt * 32, 10**8), 0.001, 30 * 86400, ckpt_cost=600
+    )
+    assert s_past < s_opt

@@ -1,0 +1,22 @@
+"""ABL4 — sequential vs conservative-parallel DES engine."""
+
+from benchmarks.conftest import emit
+from repro.exps.ablations import engine_ablation, format_abl4
+
+
+def test_ablation_engines(benchmark):
+    res = benchmark.pedantic(
+        lambda: engine_ablation(n_ring=32, laps=300), rounds=1, iterations=1
+    )
+    emit(benchmark, "abl4", format_abl4(res))
+
+    # the conservative engine is observationally equivalent
+    assert res["parallel_2"]["identical"]
+    assert res["parallel_4"]["identical"]
+    assert (
+        res["sequential"]["events"]
+        == res["parallel_2"]["events"]
+        == res["parallel_4"]["events"]
+    )
+    # window machinery actually engaged
+    assert res["parallel_4"]["windows"] > 1

@@ -1,0 +1,16 @@
+"""ABL1 — modeling method: interpolation LUT vs symbolic regression."""
+
+from benchmarks.conftest import emit
+from repro.exps.ablations import format_abl1, modeling_method_ablation
+
+
+def test_ablation_modeling_methods(benchmark, ctx):
+    table = benchmark.pedantic(
+        lambda: modeling_method_ablation(ctx), rounds=1, iterations=1
+    )
+    emit(benchmark, "abl1", format_abl1(table))
+
+    for kernel, row in table.items():
+        # both of the paper's methods reach DSE-grade accuracy on the grid
+        assert row["symreg"] < 30.0, kernel
+        assert row["lut"] < 30.0, kernel

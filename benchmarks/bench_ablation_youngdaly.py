@@ -1,0 +1,27 @@
+"""ABL2 — checkpoint period under fault injection vs Young/Daly optimum."""
+
+from benchmarks.conftest import emit
+from repro.exps.ablations import format_abl2, youngdaly_ablation
+
+
+def test_ablation_youngdaly(benchmark, ctx):
+    res = benchmark.pedantic(
+        lambda: youngdaly_ablation(
+            ctx, periods=(5, 10, 20, 40, 80, 160),
+            ranks=64, epr=10, timesteps=400, node_mtbf_s=30.0, reps=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "abl2", format_abl2(res))
+
+    periods = [p.period for p in res.points]
+    totals = {p.period: p.mean_total for p in res.points}
+    # the simulated optimum is interior (the classic U-shape): the two
+    # extreme periods are both worse than the best
+    best = res.best_period
+    assert totals[periods[0]] >= totals[best]
+    assert totals[periods[-1]] >= totals[best]
+    # Daly's analytic optimum lands within a factor ~4 of the simulated one
+    assert res.daly_period_timesteps > 0
+    assert 0.25 <= best / max(res.daly_period_timesteps, 1e-9) <= 16.0

@@ -1,0 +1,57 @@
+"""EXT1-3 — extension experiments: all FTI levels, level selection,
+architectural DSE (the paper's stated future directions)."""
+
+from benchmarks.conftest import emit
+from repro.exps.extensions import (
+    all_levels_full_system,
+    architectural_dse,
+    format_ext1,
+    format_ext2,
+    format_ext3,
+    get_all_levels_context,
+    level_selection_sweep,
+)
+
+
+def test_ext1_all_four_levels(benchmark):
+    ctx = get_all_levels_context(seed=0)
+    rows = benchmark.pedantic(
+        lambda: all_levels_full_system(ctx, ranks=64, epr=10, reps=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "ext1", format_ext1(rows))
+
+    by = {r.level: r for r in rows}
+    # Table I's overhead trend: cost grows L1 -> L2; L3 adds RS encode
+    # over L1; all simulate within the exploratory band
+    assert by[1].ckpt_instance_cost < by[2].ckpt_instance_cost
+    assert by[3].ckpt_instance_cost > by[1].ckpt_instance_cost
+    assert all(r.percent_error < 40.0 for r in rows)
+
+
+def test_ext2_level_selection(benchmark):
+    ctx = get_all_levels_context(seed=0)
+    rows = benchmark.pedantic(
+        lambda: level_selection_sweep(ctx), rounds=1, iterations=1
+    )
+    emit(benchmark, "ext2", format_ext2(rows))
+
+    best = [r.best_level for r in rows]
+    # reliability degrades across the sweep; the optimum never steps down
+    assert all(b2 >= b1 for b1, b2 in zip(best, best[1:]))
+    assert best[-1] >= 3
+
+
+def test_ext3_architectural_dse(benchmark):
+    ctx = get_all_levels_context(seed=0)
+    rows = benchmark.pedantic(
+        lambda: architectural_dse(ctx, ranks=64, epr=10, reps=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "ext3", format_ext3(rows))
+
+    for arch in ("fat-tree", "dragonfly"):
+        mine = {r.scenario: r.total for r in rows if r.architecture == arch}
+        assert mine["no_ft"] < mine["l1"] < mine["l1+l2"]

@@ -1,0 +1,38 @@
+"""FIG1 — CMT-bone on Vulcan: benchmark-vs-simulation DSE scatter.
+
+Regenerates Fig. 1: Monte-Carlo timestep distributions validated against
+virtual-Vulcan measurements up to the allocation, predicted to 1M ranks.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.exps.fig1 import cmtbone_dse, format_fig1
+
+
+def test_fig1_cmtbone_dse(benchmark):
+    points = benchmark.pedantic(
+        lambda: cmtbone_dse(
+            elem_sizes=(5, 10, 15),
+            validate_ranks=(16, 128, 1024),
+            predict_ranks=(32_768, 1_048_576),
+            reps=5,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "fig1", format_fig1(points))
+
+    validated = [p for p in points if not p.is_prediction]
+    predicted = [p for p in points if p.is_prediction]
+    assert len(validated) == 9 and len(predicted) == 6
+    # validation within DSE-grade accuracy
+    mape = np.mean([p.percent_error for p in validated])
+    assert mape < 30.0
+    # larger problems cost more at every rank count
+    by = {(p.elem_size, p.ranks): p.predicted_mean for p in points}
+    for r in (16, 128, 1024, 1_048_576):
+        assert by[(15, r)] > by[(5, r)]
+    # prediction extends the trend beyond the machine
+    assert by[(10, 1_048_576)] > by[(10, 1024)]

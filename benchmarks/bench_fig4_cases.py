@@ -1,0 +1,38 @@
+"""FIG4 — the four fault-assumption cases (incl. the paper's future work).
+
+Case 1: no faults, no FT          (traditional BE-SST)
+Case 2: faults, no FT             (restart from scratch)
+Case 3: no faults, FT-aware       (this paper's contribution)
+Case 4: faults + fault-tolerance  (the paper's future work)
+"""
+
+from benchmarks.conftest import emit
+from repro.exps.fig4 import fault_assumption_cases, format_fig4
+
+
+def test_fig4_fault_assumption_cases(benchmark, ctx):
+    results = benchmark.pedantic(
+        lambda: fault_assumption_cases(
+            ctx, ranks=64, epr=10, timesteps=200, ckpt_period=40,
+            # enough fault pressure that case 2's restart-from-scratch
+            # penalty dominates sampling noise across the replicas
+            node_mtbf_s=8.0, recovery_time_s=0.05, reps=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "fig4", format_fig4(results))
+
+    by = {r.case: r for r in results}
+    # no-fault cases see no faults
+    assert by[1].mean_faults == 0 and by[3].mean_faults == 0
+    # Case 3 = Case 1 + checkpoint overhead
+    assert by[3].mean_total > by[1].mean_total
+    # faults make things worse
+    assert by[2].mean_total > by[1].mean_total
+    assert by[4].mean_total > by[3].mean_total
+    # the headline: checkpointing bounds the damage (Case 4 wastes less
+    # and finishes sooner than restart-from-scratch Case 2)
+    assert by[2].mean_faults > 0 and by[4].mean_faults > 0
+    assert by[4].mean_wasted < by[2].mean_wasted
+    assert by[4].mean_total < by[2].mean_total

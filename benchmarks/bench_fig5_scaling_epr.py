@@ -1,0 +1,26 @@
+"""FIG5 — instance-model validation and prediction vs problem size."""
+
+from benchmarks.conftest import emit
+from repro.exps.fig5_6 import PREDICT_EPR, format_fig5, instance_scaling
+
+
+def test_fig5_scaling_vs_problem_size(benchmark, ctx):
+    rows = benchmark.pedantic(
+        lambda: instance_scaling(ctx), rounds=1, iterations=1
+    )
+    emit(benchmark, "fig5", format_fig5(rows))
+
+    by = {(r.kernel, r.epr, r.ranks): r for r in rows}
+    # checkpoint kernels sit above the timestep and scale faster with epr
+    for ranks in (8, 64, 1000):
+        step5 = by[("lulesh_timestep", 5, ranks)].predicted
+        step25 = by[("lulesh_timestep", 25, ranks)].predicted
+        for k in ("fti_l1", "fti_l2"):
+            assert by[(k, 5, ranks)].predicted > step5
+            assert by[(k, 25, ranks)].predicted > step25
+    # the prediction region extends the trend (epr 30 > epr 25)
+    for k in ("lulesh_timestep", "fti_l1", "fti_l2"):
+        assert (
+            by[(k, PREDICT_EPR, 64)].predicted > by[(k, 25, 64)].predicted
+        )
+        assert by[(k, PREDICT_EPR, 64)].is_prediction

@@ -1,0 +1,30 @@
+"""FIG6 — instance-model validation and prediction vs number of ranks."""
+
+from benchmarks.conftest import emit
+from repro.exps.fig5_6 import PREDICT_RANKS, format_fig6, instance_scaling
+
+
+def test_fig6_scaling_vs_ranks(benchmark, ctx):
+    rows = benchmark.pedantic(
+        lambda: instance_scaling(ctx), rounds=1, iterations=1
+    )
+    emit(benchmark, "fig6", format_fig6(rows))
+
+    by = {(r.kernel, r.epr, r.ranks): r for r in rows}
+    # checkpointing scales much more strongly with ranks than the
+    # (weak-scaling) timestep does — the coordinated-C/R cost the paper
+    # attributes to storage and communication
+    for k in ("fti_l1", "fti_l2"):
+        growth_ckpt = by[(k, 10, 1000)].predicted / by[(k, 10, 8)].predicted
+        growth_step = (
+            by[("lulesh_timestep", 10, 1000)].predicted
+            / by[("lulesh_timestep", 10, 8)].predicted
+        )
+        assert growth_ckpt > growth_step
+    # the prediction region (1331 ranks) extends the trend
+    for k in ("lulesh_timestep", "fti_l1", "fti_l2"):
+        assert (
+            by[(k, 10, PREDICT_RANKS)].predicted
+            > by[(k, 10, 512)].predicted * 0.8
+        )
+        assert by[(k, 10, PREDICT_RANKS)].is_prediction

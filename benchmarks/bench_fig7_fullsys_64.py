@@ -1,0 +1,30 @@
+"""FIG7 — full application runtime prediction, 64 ranks, 200 timesteps."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.exps.fig7_8 import format_fig7_8, full_system_curves
+
+
+def test_fig7_full_system_64_ranks(benchmark, ctx):
+    curves = benchmark.pedantic(
+        lambda: full_system_curves(64, ctx=ctx, reps=BENCH_REPS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "fig7", format_fig7_8(curves))
+
+    by = {c.scenario: c for c in curves}
+    # scenario ordering in both measured and simulated totals
+    for field in ("measured_total", "simulated_total_mean"):
+        vals = [getattr(by[s], field) for s in ("no_ft", "l1", "l1+l2")]
+        assert vals[0] < vals[1] < vals[2]
+    # checkpoint marks: 5 at period 40 for L1; 10 for L1+L2
+    assert len(by["l1"].checkpoint_marks) == 5
+    assert len(by["l1+l2"].checkpoint_marks) == 10
+    # system-level accuracy comparable to the paper's ~20%
+    assert all(c.percent_error < 35.0 for c in curves)
+    # cumulative curves are monotone and end at the total
+    for c in curves:
+        assert np.all(np.diff(c.simulated_curve) > 0)
+        assert np.all(np.diff(c.measured_curve) > 0)

@@ -1,0 +1,25 @@
+"""FIG8 — full application runtime prediction, 1000 ranks, 200 timesteps."""
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.exps.fig7_8 import format_fig7_8, full_system_curves
+
+
+def test_fig8_full_system_1000_ranks(benchmark, ctx):
+    curves = benchmark.pedantic(
+        lambda: full_system_curves(1000, ctx=ctx, reps=BENCH_REPS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "fig8", format_fig7_8(curves))
+
+    by = {c.scenario: c for c in curves}
+    for field in ("measured_total", "simulated_total_mean"):
+        vals = [getattr(by[s], field) for s in ("no_ft", "l1", "l1+l2")]
+        assert vals[0] < vals[1] < vals[2]
+    # checkpointing hurts far more at 1000 ranks than at 64 (the paper's
+    # coordinated-checkpointing scaling story); compare relative gaps
+    gap_1000 = by["l1+l2"].simulated_total_mean / by["no_ft"].simulated_total_mean
+    assert gap_1000 > 2.0
+    # the paper reports growing divergence at the 1000-rank corner
+    # (Fig. 6D / Fig. 8); keep the error within the exploratory band
+    assert all(c.percent_error < 50.0 for c in curves)

@@ -1,0 +1,28 @@
+"""FIG9 — overhead prediction matrix for full-system DSE."""
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.exps.fig9 import FIG9_EPRS, FIG9_RANKS, format_fig9, overhead_prediction
+
+
+def test_fig9_overhead_matrix(benchmark, ctx):
+    pct = benchmark.pedantic(
+        lambda: overhead_prediction(ctx, reps=BENCH_REPS), rounds=1, iterations=1
+    )
+    emit(benchmark, "fig9", format_fig9(pct))
+
+    import pytest
+
+    for e in FIG9_EPRS:
+        # each column is normalised to its own 64-rank no-FT prediction
+        assert pct[(e, 64, "no_ft")] == pytest.approx(100.0)
+        for r in FIG9_RANKS:
+            # FT-level ordering: no FT < L1 < L1+L2
+            assert pct[(e, r, "no_ft")] < pct[(e, r, "l1")] < pct[(e, r, "l1+l2")]
+        # scale ordering: everything is costlier (relatively) at 1000 ranks
+        for s in ("no_ft", "l1", "l1+l2"):
+            assert pct[(e, 1000, s)] > pct[(e, 64, s)]
+    # the paper's extreme corner: L1+L2 at 1000 ranks and max epr carries
+    # several-fold overhead
+    assert pct[(25, 1000, "l1+l2")] > 300.0
+    # checkpoint overhead grows with problem size at scale
+    assert pct[(25, 1000, "l1+l2")] > pct[(10, 1000, "l1+l2")] * 0.9

@@ -1,0 +1,22 @@
+"""TAB3 — instance-model MAPE (paper: 6.64% / 16.68% / 14.50%)."""
+
+from benchmarks.conftest import emit
+from repro.exps.table3 import PAPER_TABLE3, format_table3, instance_model_mape
+
+
+def test_table3_instance_model_mape(benchmark, ctx):
+    reports = benchmark.pedantic(
+        lambda: instance_model_mape(ctx), rounds=1, iterations=1
+    )
+    emit(benchmark, "table3", format_table3(reports))
+
+    mapes = {k: r.mape for k, r in reports.items()}
+    # accuracy band: "less than 17% for the instance models" — give the
+    # synthetic testbed headroom but stay DSE-grade
+    assert mapes["lulesh_timestep"] < 15.0
+    assert mapes["fti_l1"] < 30.0
+    assert mapes["fti_l2"] < 30.0
+    # the paper's ordering: the compute kernel models far better than the
+    # storage/communication-bound checkpoint kernels
+    assert mapes["lulesh_timestep"] < mapes["fti_l1"]
+    assert mapes["lulesh_timestep"] < mapes["fti_l2"]

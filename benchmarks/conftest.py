@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures.  The
+case-study benches share one process-wide context (Model Development runs
+once); Monte-Carlo budgets are sized so the whole harness finishes in
+minutes while preserving every reproduced shape.  Run with ``-s`` to see
+the regenerated tables inline.
+"""
+
+import pytest
+
+from repro.exps.casestudy import get_context
+
+#: Monte-Carlo replicas used across the harness — keep identical between
+#: benches so their simulation caches are shared.
+BENCH_REPS = 2
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The case-study context (benchmark campaign + fitted models)."""
+    return get_context(seed=0)
+
+
+def emit(benchmark, title: str, text: str) -> None:
+    """Print a regenerated artifact and attach it to the benchmark record."""
+    print(f"\n{text}\n")
+    benchmark.extra_info[title] = text

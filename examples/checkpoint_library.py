@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The FTI checkpoint library with a real application (Table I, live).
+
+Runs the mini-LULESH hydro solver, checkpoints its actual state through
+all four FTI levels, kills nodes, and recovers — demonstrating each
+level's protection domain from Table I:
+
+* L1 survives application crashes but not node loss,
+* L2 survives node losses while a partner copy lives,
+* L3 (Reed-Solomon across the group) survives up to half a group,
+* L4 (parallel file system) survives everything.
+
+Run:  python examples/checkpoint_library.py
+"""
+
+from repro.apps import MiniLulesh
+from repro.fti import FTI, CheckpointLevel, FTIConfig, RecoveryError
+
+
+def main() -> None:
+    nranks = 16
+    cfg = FTIConfig(group_size=4, node_size=2, partner_copies=2)
+    fti = FTI(nranks, cfg)
+    print(f"layout: {fti.layout}")
+
+    # run one real solver instance per rank for a few cycles
+    solvers = {r: MiniLulesh(epr=6) for r in range(nranks)}
+    for s in solvers.values():
+        s.run(5)
+
+    print("\ncheckpointing real solver state at every level:")
+    blobs = {r: s.serialize() for r, s in solvers.items()}
+    for level in CheckpointLevel:
+        receipt = fti.checkpoint(blobs, level)
+        print(
+            f"  L{level.value}: local={receipt.bytes_local:>8d}B "
+            f"partner={receipt.bytes_partner:>8d}B "
+            f"rs={receipt.bytes_encoded:>8d}B pfs={receipt.bytes_pfs:>8d}B"
+            f"   ({level.describe()})"
+        )
+
+    print("\nkilling nodes 0 and 2 (half of group 0)...")
+    fti.fail_nodes([0, 2])
+    for level in CheckpointLevel:
+        ok = fti.can_recover(level)
+        print(f"  L{level.value} recoverable: {ok}")
+
+    level, restored = fti.recover_any()
+    print(f"\nrecovered from L{level.value}; resuming the solvers...")
+    resumed = {r: MiniLulesh.deserialize(b) for r, b in restored.items()}
+    ref = solvers[0]
+    got = resumed[0]
+    assert got.cycles == ref.cycles and got.t == ref.t
+    got.run(5)
+    print(
+        f"rank 0 resumed from cycle {ref.cycles} and reached cycle "
+        f"{got.cycles}, t={got.t:.4f} (energy max {got.e.max():.4f})"
+    )
+
+    print("\nkilling 3 of 4 nodes in group 0 (beyond every local level)...")
+    fti.repair_nodes([0, 2])
+    fti.checkpoint(blobs, CheckpointLevel.L3)
+    fti.fail_nodes([0, 1, 2])
+    for level in (1, 2, 3):
+        try:
+            fti.recover(level)
+            print(f"  L{level} unexpectedly recovered")
+        except RecoveryError as exc:
+            print(f"  L{level} failed as expected: {exc}")
+    print("  L4 still works:", fti.can_recover(4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Fault injection: the paper's future work, working (Fig. 4, Cases 1-4).
+
+Runs the same LULESH design point under all four fault-assumption cases
+and then sweeps the checkpoint period under injected faults, comparing
+the simulated optimum with the Young/Daly analytical interval.
+
+Failure rates are accelerated (node MTBF of tens of seconds) so a
+~1-second simulated job experiences failures; the dynamics are the same
+as week-long jobs on month-MTBF machines.
+
+Run:  python examples/fault_injection.py        (~1 minute)
+"""
+
+from repro.exps.casestudy import get_context
+from repro.exps.fig4 import fault_assumption_cases, format_fig4
+from repro.exps.ablations import format_abl2, youngdaly_ablation
+
+
+def main() -> None:
+    ctx = get_context(seed=0)
+
+    print("== Fig. 4: the four fault-assumption cases ==")
+    results = fault_assumption_cases(
+        ctx, ranks=64, epr=10, timesteps=200, ckpt_period=40,
+        node_mtbf_s=20.0, recovery_time_s=0.05, reps=5,
+    )
+    print(format_fig4(results))
+
+    print("\n== Checkpoint period vs Young/Daly optimum (Case 4 DSE) ==")
+    res = youngdaly_ablation(
+        ctx, periods=(5, 10, 20, 40, 80, 160),
+        ranks=64, epr=10, timesteps=400, node_mtbf_s=30.0, reps=5,
+    )
+    print(format_abl2(res))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's case study, end to end (Section IV, condensed).
+
+1. Model Development: benchmark LULESH+FTI kernels on the virtual
+   Quartz over the Table II grid, fit symbolic-regression models, and
+   validate them (Table III).
+2. Co-Design: full-system 200-timestep simulations under the three FT
+   scenarios at 64 ranks, validated against measured runs (Fig. 7), plus
+   the instance-model scaling view (Figs. 5-6).
+
+Run:  python examples/lulesh_case_study.py        (~1 minute)
+"""
+
+from repro.exps.casestudy import get_context
+from repro.exps.fig5_6 import format_fig5, format_fig6, instance_scaling
+from repro.exps.table3 import format_table3, instance_model_mape
+from repro.exps.fig7_8 import format_fig7_8, full_system_curves
+
+
+def main() -> None:
+    print("== Model Development: benchmarking + symbolic regression ==")
+    ctx = get_context(seed=0)
+    for kernel, fitted in ctx.dev.fitted.items():
+        print(f"  {kernel}: {fitted.model.expression}")
+
+    print("\n== Table III: instance-model validation ==")
+    print(format_table3(instance_model_mape(ctx)))
+
+    print("\n== Figs. 5-6: scaling validation + prediction ==")
+    rows = instance_scaling(ctx)
+    print(format_fig5(rows))
+    print()
+    print(format_fig6(rows))
+
+    print("\n== Fig. 7: full-system simulation, 64 ranks ==")
+    curves = full_system_curves(64, ctx=ctx, reps=5)
+    print(format_fig7_8(curves))
+    l1 = next(c for c in curves if c.scenario == "l1")
+    marks = ", ".join(f"{t:.2f}s" for t, _ in l1.checkpoint_marks)
+    print(f"L1 checkpoint instants (the figure's black dots): {marks}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""FT-BESST: fault-tolerance-aware system-level modeling and simulation.
+
+A from-scratch Python reproduction of *"Incorporating Fault-Tolerance
+Awareness into System-Level Modeling and Simulation"* (Johnson & Lam,
+IEEE CLUSTER 2021), including every substrate the paper builds on:
+
+* :mod:`repro.des` — component-based (parallel) discrete-event engine
+  (the SST substitute),
+* :mod:`repro.core` — the BE-SST behavioral-emulation layer with the
+  paper's FT-aware extensions plus fault injection,
+* :mod:`repro.models` — interpolation and symbolic-regression
+  performance modeling,
+* :mod:`repro.network` — fat-tree / torus topologies and LogGP cost
+  models,
+* :mod:`repro.fti` — an FTI-like multi-level checkpoint library with a
+  real Reed-Solomon codec,
+* :mod:`repro.apps` — LULESH (including a runnable mini hydro kernel),
+  CMT-bone and iterative-solver AppBEOs,
+* :mod:`repro.testbed` — virtual Quartz/Vulcan machines standing in for
+  the LLNL systems,
+* :mod:`repro.analytical` — related-work baselines (Young/Daly,
+  reliability-aware Amdahl/Gustafson, replication, spare nodes),
+* :mod:`repro.exps` — drivers reproducing every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro.testbed import make_quartz
+    from repro.core import ModelDevelopment, build_archbeo, BESSTSimulator
+    from repro.core.ft import scenario_l1
+    from repro.apps import lulesh_appbeo
+
+    machine = make_quartz()
+    dev = ModelDevelopment(machine, ["lulesh_timestep", "fti_l1"]).run()
+    arch = build_archbeo(machine, dev.models())
+    app = lulesh_appbeo(timesteps=200, scenario=scenario_l1(period=40))
+    result = BESSTSimulator(app, arch, nranks=64, params={"epr": 10}).run()
+    print(result.total_time, result.ft_overhead_fraction)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,35 @@
+"""Algorithm-based fault tolerance (ABFT).
+
+The paper names ABFT as the other fault-tolerance technique its
+algorithmic DSE should compare against checkpoint-restart: *"alternate
+algorithms that perform the same operations but with more resilience and
+overhead, such as using a checksum in a matrix-based code to guard
+against silent data corruption."*
+
+This package implements the classic Huang–Abraham checksum scheme for
+matrix multiplication — actually detecting and correcting injected
+element corruptions — plus its overhead cost model and the
+ABFT-vs-checkpointing DSE comparison (silent data corruption is invisible
+to C/R, which happily checkpoints corrupted state).
+"""
+
+from repro.abft.checksum import (
+    ChecksumMatrix,
+    abft_matmul,
+    encode_columns,
+    encode_rows,
+    verify_and_correct,
+    ABFTError,
+)
+from repro.abft.costmodel import abft_overhead_ratio, sdc_outcome_probabilities
+
+__all__ = [
+    "ChecksumMatrix",
+    "abft_matmul",
+    "encode_rows",
+    "encode_columns",
+    "verify_and_correct",
+    "ABFTError",
+    "abft_overhead_ratio",
+    "sdc_outcome_probabilities",
+]

@@ -1,0 +1,115 @@
+"""Huang–Abraham checksum-protected matrix multiplication.
+
+Encode ``A`` with an appended row of column sums and ``B`` with an
+appended column of row sums; then
+
+    A_c @ B_r  =  C_f
+
+is the *full-checksum* product: its last row/column hold the column/row
+sums of the true ``C``.  A single corrupted element of ``C`` breaks
+exactly one row-sum and one column-sum invariant — locating the element —
+and the discrepancy magnitude recovers the true value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class ABFTError(RuntimeError):
+    """Raised when corruption is detected but not correctable."""
+
+
+def encode_rows(a: np.ndarray) -> np.ndarray:
+    """Append a row of column sums (column-checksum encoding of A)."""
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {a.shape}")
+    return np.vstack([a, a.sum(axis=0)])
+
+
+def encode_columns(b: np.ndarray) -> np.ndarray:
+    """Append a column of row sums (row-checksum encoding of B)."""
+    b = np.asarray(b, dtype=float)
+    if b.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {b.shape}")
+    return np.hstack([b, b.sum(axis=1, keepdims=True)])
+
+
+@dataclass
+class ChecksumMatrix:
+    """A full-checksum product matrix ``C_f`` of shape ``(m+1, n+1)``.
+
+    ``data`` includes the checksum row/column; :attr:`payload` is the
+    protected ``m x n`` result.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=float)
+        if self.data.ndim != 2 or self.data.shape[0] < 2 or self.data.shape[1] < 2:
+            raise ValueError(f"invalid full-checksum shape {self.data.shape}")
+
+    @property
+    def payload(self) -> np.ndarray:
+        return self.data[:-1, :-1]
+
+    def row_syndrome(self, rtol: float) -> np.ndarray:
+        """Boolean mask of rows whose sum invariant is violated."""
+        expect = self.data[:-1, :-1].sum(axis=1)
+        scale = np.maximum(np.abs(self.data[:-1, -1]), 1.0)
+        return np.abs(expect - self.data[:-1, -1]) > rtol * scale
+
+    def col_syndrome(self, rtol: float) -> np.ndarray:
+        expect = self.data[:-1, :-1].sum(axis=0)
+        scale = np.maximum(np.abs(self.data[-1, :-1]), 1.0)
+        return np.abs(expect - self.data[-1, :-1]) > rtol * scale
+
+
+def abft_matmul(a: np.ndarray, b: np.ndarray) -> ChecksumMatrix:
+    """Checksum-protected product of ``a`` (m x k) and ``b`` (k x n)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    return ChecksumMatrix(encode_rows(a) @ encode_columns(b))
+
+
+def verify_and_correct(
+    c: ChecksumMatrix, rtol: float = 1e-8
+) -> tuple[np.ndarray, Optional[tuple[int, int]]]:
+    """Check the invariants; correct a single corrupted payload element.
+
+    Returns ``(payload, corrected_index)`` where ``corrected_index`` is
+    None for a clean matrix.
+
+    Raises
+    ------
+    ABFTError
+        If more than one row/column invariant is broken (multi-element
+        corruption exceeds the scheme's correction capability) or if a
+        checksum element itself is inconsistent in a non-correctable way.
+    """
+    rows = np.flatnonzero(c.row_syndrome(rtol))
+    cols = np.flatnonzero(c.col_syndrome(rtol))
+    if rows.size == 0 and cols.size == 0:
+        return c.payload.copy(), None
+    if rows.size == 1 and cols.size == 1:
+        i, j = int(rows[0]), int(cols[0])
+        fixed = c.payload.copy()
+        true_value = c.data[i, -1] - (c.payload[i].sum() - c.payload[i, j])
+        fixed[i, j] = true_value
+        return fixed, (i, j)
+    if rows.size == 1 and cols.size == 0:
+        # the row-checksum element itself was corrupted; payload is intact
+        return c.payload.copy(), (int(rows[0]), c.data.shape[1] - 1)
+    if cols.size == 1 and rows.size == 0:
+        return c.payload.copy(), (c.data.shape[0] - 1, int(cols[0]))
+    raise ABFTError(
+        f"uncorrectable corruption: {rows.size} row and {cols.size} column "
+        "invariants violated"
+    )

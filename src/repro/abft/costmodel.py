@@ -1,0 +1,69 @@
+"""ABFT cost/benefit model for algorithmic DSE.
+
+ABFT's trade against checkpoint-restart is qualitative, not just
+quantitative: C/R recovers *crashes* but is blind to silent data
+corruption (it will happily checkpoint corrupted state), while ABFT
+catches SDC in the protected operation at a small arithmetic overhead.
+These helpers quantify both sides for DSE tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def abft_overhead_ratio(n: int, k: int | None = None, m: int | None = None) -> float:
+    """Relative extra work of checksum-protected matmul vs plain.
+
+    For ``C(m x n) = A(m x k) @ B(k x n)``: plain costs ``2 m k n`` flops;
+    the encoded product costs ``2 (m+1) k (n+1)`` plus encoding
+    (``m k + k n``) and verification (``2 m n``).  Returns
+    ``protected/plain - 1`` (≈ ``1/m + 1/n`` for large square matrices).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = k if k is not None else n
+    m = m if m is not None else n
+    if k < 1 or m < 1:
+        raise ValueError("k and m must be >= 1")
+    plain = 2.0 * m * k * n
+    protected = 2.0 * (m + 1) * k * (n + 1) + (m * k + k * n) + 2.0 * m * n
+    return protected / plain - 1.0
+
+
+def sdc_outcome_probabilities(
+    sdc_rate_per_hour: float,
+    job_hours: float,
+    abft_coverage: float = 0.95,
+) -> dict[str, float]:
+    """Probability a job's result is corrupted, with and without ABFT.
+
+    Parameters
+    ----------
+    sdc_rate_per_hour:
+        Rate of silent corruptions striking the protected computation.
+    job_hours:
+        Exposure window.
+    abft_coverage:
+        Fraction of strikes landing inside ABFT-protected operations
+        (strikes elsewhere are detected by neither technique).
+
+    Returns
+    -------
+    dict
+        ``p_sdc`` (expected >= 1 strike), ``p_bad_plain`` (plain or C/R
+        job silently wrong), ``p_bad_abft`` (ABFT job silently wrong —
+        only uncovered strikes slip through).
+    """
+    if sdc_rate_per_hour < 0 or job_hours <= 0:
+        raise ValueError("rates must be >= 0 and job_hours > 0")
+    if not 0.0 <= abft_coverage <= 1.0:
+        raise ValueError(f"abft_coverage must be in [0,1], got {abft_coverage}")
+    lam = sdc_rate_per_hour * job_hours
+    p_sdc = 1.0 - math.exp(-lam)
+    p_bad_abft = 1.0 - math.exp(-lam * (1.0 - abft_coverage))
+    return {
+        "p_sdc": p_sdc,
+        "p_bad_plain": p_sdc,
+        "p_bad_abft": p_bad_abft,
+    }

@@ -1,0 +1,47 @@
+"""Analytical fault-tolerance performance models from the related work.
+
+These are the abstract models the paper positions BE-SST against
+(Section II); they serve as baselines and sanity oracles for the
+simulator:
+
+* :mod:`~repro.analytical.youngdaly` — Young's and Daly's optimal
+  checkpoint intervals and the resulting expected runtime,
+* :mod:`~repro.analytical.speedup` — reliability-aware Amdahl
+  (Cavelan et al. [15]) and Gustafson (Zheng et al. [9], [10]) speedup
+  models: fault-free, with faults, and with faults + checkpoint-restart,
+* :mod:`~repro.analytical.replication` — the dual-replication extension
+  (Hussain et al. [14]),
+* :mod:`~repro.analytical.sparenodes` — the spare-node / repair queueing
+  view (Jin et al. [16]).
+"""
+
+from repro.analytical.youngdaly import (
+    young_interval,
+    daly_interval,
+    expected_runtime,
+    optimal_expected_runtime,
+)
+from repro.analytical.speedup import (
+    amdahl_speedup,
+    gustafson_speedup,
+    reliability_aware_amdahl,
+    reliability_aware_gustafson,
+    optimal_process_count,
+)
+from repro.analytical.replication import replication_speedup, replication_mtbf
+from repro.analytical.sparenodes import SpareNodeModel
+
+__all__ = [
+    "young_interval",
+    "daly_interval",
+    "expected_runtime",
+    "optimal_expected_runtime",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "reliability_aware_amdahl",
+    "reliability_aware_gustafson",
+    "optimal_process_count",
+    "replication_speedup",
+    "replication_mtbf",
+    "SpareNodeModel",
+]

@@ -1,0 +1,142 @@
+"""Reliability-aware speedup laws (Cavelan et al. [15]; Zheng et al. [9,10]).
+
+The classic laws are monotone in the process count n; the key insight of
+the related work is that faults break that monotonicity: the system
+failure rate grows with n, so past some n* adding processes *hurts*.
+
+All functions take per-node MTBF ``node_mtbf`` and per-checkpoint cost
+``ckpt_cost``; the FT-aware variants charge the Young-optimal
+checkpoint-restart overhead at the n-node system MTBF.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analytical.youngdaly import young_interval
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"process count must be >= 1, got {n}")
+
+
+def _check_frac(serial_fraction: float) -> None:
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial fraction must be in [0,1], got {serial_fraction}")
+
+
+def amdahl_speedup(n: int, serial_fraction: float) -> float:
+    """Classic Amdahl: fixed problem, n-way parallel remainder."""
+    _check_n(n)
+    _check_frac(serial_fraction)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def gustafson_speedup(n: int, serial_fraction: float) -> float:
+    """Classic Gustafson: scaled problem."""
+    _check_n(n)
+    _check_frac(serial_fraction)
+    return serial_fraction + (1.0 - serial_fraction) * n
+
+
+def _ft_inflation(
+    n: int,
+    node_mtbf: float,
+    ckpt_cost: Optional[float],
+    restart_cost: float,
+    job_time: float,
+) -> float:
+    """Multiplier >= 1 on execution time due to faults (and C/R if used).
+
+    With checkpoint-restart at Young's interval we use Daly's exact
+    expected-segment time under exponential failures:
+
+        E[segment] = (M + R) * (exp((tau + C)/M) - 1),  inflation = E/tau.
+
+    Without checkpointing a failure loses *all* progress, so the segment
+    is the entire fault-free job: inflation = (M+R)(exp(T/M)-1)/T.  Both
+    forms grow without bound as the system failure rate rises, which is
+    what produces the related work's finite optimal process count.
+    """
+    if node_mtbf <= 0:
+        raise ValueError(f"node_mtbf must be > 0, got {node_mtbf}")
+    if restart_cost < 0:
+        raise ValueError(f"restart_cost must be >= 0, got {restart_cost}")
+    if job_time <= 0:
+        raise ValueError(f"job_time must be > 0, got {job_time}")
+    M = node_mtbf / n
+    if ckpt_cost is None:
+        x = min(job_time / M, 500.0)  # avoid overflow; already astronomic
+        return (M + restart_cost) * math.expm1(x) / job_time
+    if ckpt_cost <= 0:
+        raise ValueError(f"ckpt_cost must be > 0, got {ckpt_cost}")
+    tau = young_interval(ckpt_cost, M)
+    x = min((tau + ckpt_cost) / M, 500.0)
+    return (M + restart_cost) * math.expm1(x) / tau
+
+
+def reliability_aware_amdahl(
+    n: int,
+    serial_fraction: float,
+    node_mtbf: float,
+    ckpt_cost: Optional[float] = None,
+    restart_cost: float = 0.0,
+    work: float = 86400.0,
+) -> float:
+    """Amdahl speedup under faults (Cavelan et al.).
+
+    ``ckpt_cost=None`` models a faulty system without fault-tolerance;
+    passing a cost enables Young-optimal checkpoint-restart.  ``work`` is
+    the single-process job duration (the no-FT fault exposure window
+    scales with the per-n job time).
+    """
+    base = amdahl_speedup(n, serial_fraction)
+    return base / _ft_inflation(n, node_mtbf, ckpt_cost, restart_cost, work / base)
+
+
+def reliability_aware_gustafson(
+    n: int,
+    serial_fraction: float,
+    node_mtbf: float,
+    ckpt_cost: Optional[float] = None,
+    restart_cost: float = 0.0,
+    work: float = 86400.0,
+) -> float:
+    """Gustafson (weak-scaling) speedup under faults (Zheng et al.).
+
+    Weak scaling keeps per-node work fixed, so the fault exposure window
+    is ``work`` itself.
+    """
+    base = gustafson_speedup(n, serial_fraction)
+    return base / _ft_inflation(n, node_mtbf, ckpt_cost, restart_cost, work)
+
+
+def optimal_process_count(
+    serial_fraction: float,
+    node_mtbf: float,
+    ckpt_cost: Optional[float] = None,
+    restart_cost: float = 0.0,
+    law: str = "amdahl",
+    n_max: int = 1_000_000,
+) -> int:
+    """argmax_n of the reliability-aware speedup (log-grid search).
+
+    The existence of a finite optimum is the headline finding of the
+    related work: more nodes eventually hurt.
+    """
+    if law == "amdahl":
+        fn = reliability_aware_amdahl
+    elif law == "gustafson":
+        fn = reliability_aware_gustafson
+    else:
+        raise ValueError(f"unknown law {law!r}")
+    best_n, best_s = 1, fn(1, serial_fraction, node_mtbf, ckpt_cost, restart_cost)
+    n = 1
+    while n < n_max:
+        n = max(n + 1, int(n * 1.25))
+        s = fn(n, serial_fraction, node_mtbf, ckpt_cost, restart_cost)
+        if s > best_s:
+            best_n, best_s = n, s
+    return best_n

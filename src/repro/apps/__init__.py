@@ -1,0 +1,35 @@
+"""Proxy applications: LULESH, CMT-bone, and a generic iterative solver.
+
+Each application contributes two things:
+
+* an **AppBEO builder** — the abstract-instruction stream the BE-SST
+  simulator executes (timestep kernels, halo exchanges, dt reductions,
+  and — with an FT scenario — checkpoint instructions), and
+* where useful, a **real miniature kernel**
+  (:class:`~repro.apps.lulesh.MiniLulesh` is a runnable Sedov-blast
+  hydro solver) that grounds checkpoint payload sizes and gives the
+  instrumentation example something real to time.
+"""
+
+from repro.apps.lulesh import (
+    MiniLulesh,
+    lulesh_appbeo,
+    lulesh_state_bytes,
+    lulesh_halo_bytes,
+    validate_cube_ranks,
+    LULESH_FIELDS,
+)
+from repro.apps.cmtbone import cmtbone_appbeo, cmtbone_state_bytes
+from repro.apps.iterative import iterative_solver_appbeo
+
+__all__ = [
+    "MiniLulesh",
+    "lulesh_appbeo",
+    "lulesh_state_bytes",
+    "lulesh_halo_bytes",
+    "validate_cube_ranks",
+    "LULESH_FIELDS",
+    "cmtbone_appbeo",
+    "cmtbone_state_bytes",
+    "iterative_solver_appbeo",
+]

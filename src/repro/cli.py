@@ -1,0 +1,221 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Examples::
+
+    python -m repro table3
+    python -m repro fig7 --reps 5
+    python -m repro fig9 --reps 2
+    python -m repro fit-models --out quartz_models.json
+    python -m repro list
+
+Heavy experiments accept ``--reps`` (Monte-Carlo replicas) and ``--seed``;
+``list`` shows every available target with its paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+_EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "fig1": ("Fig. 1", "CMT-bone on Vulcan benchmark-vs-sim DSE"),
+    "fig4": ("Fig. 4", "fault-assumption Cases 1-4 (fault injection)"),
+    "fig5": ("Fig. 5", "instance-model scaling vs problem size"),
+    "fig6": ("Fig. 6", "instance-model scaling vs ranks"),
+    "fig7": ("Fig. 7", "full-system runtime, 64 ranks"),
+    "fig8": ("Fig. 8", "full-system runtime, 1000 ranks"),
+    "fig9": ("Fig. 9", "overhead prediction matrix"),
+    "table3": ("Table III", "instance-model MAPE"),
+    "table4": ("Table IV", "full-system simulation MAPE"),
+    "ext1": ("extension", "all four FTI levels, full system"),
+    "ext2": ("extension", "checkpoint-level selection vs MTBF"),
+    "ext3": ("extension", "architectural DSE: fat tree vs dragonfly"),
+    "ext4": ("extension", "hardware DSE: NVRAM checkpoint storage"),
+    "ext5": ("extension", "simulated level DSE under mixed faults"),
+    "ext6": ("extension", "ABFT vs checkpoint-restart for SDC"),
+    "ext7": ("extension", "modeling granularity ablation"),
+    "abl1": ("ablation", "LUT vs symbolic regression"),
+    "abl2": ("ablation", "checkpoint period vs Young/Daly"),
+    "abl3": ("ablation", "analytical speedup baselines"),
+    "abl4": ("ablation", "sequential vs parallel DES engine"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "FT-BESST: regenerate the tables and figures of 'Incorporating "
+            "Fault-Tolerance Awareness into System-Level Modeling and "
+            "Simulation' (CLUSTER 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment targets")
+
+    for name, (artifact, desc) in _EXPERIMENTS.items():
+        p = sub.add_parser(name, help=f"{artifact}: {desc}")
+        p.add_argument("--seed", type=int, default=0, help="root seed")
+        p.add_argument(
+            "--reps", type=int, default=3, help="Monte-Carlo replicas"
+        )
+
+    fit = sub.add_parser(
+        "fit-models", help="run Model Development and save the fitted models"
+    )
+    fit.add_argument("--out", required=True, help="output JSON path")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument(
+        "--all-levels",
+        action="store_true",
+        help="also fit the L3/L4 checkpoint kernels",
+    )
+
+    show = sub.add_parser("show-models", help="summarise a saved model registry")
+    show.add_argument("path", help="registry JSON path")
+    return parser
+
+
+def _run_experiment(name: str, seed: int, reps: int) -> str:
+    # Imports are local so `repro list --help` stays instant.
+    if name == "fig1":
+        from repro.exps.fig1 import cmtbone_dse, format_fig1
+
+        return format_fig1(cmtbone_dse(reps=max(reps, 3), seed=seed))
+    if name == "fig4":
+        from repro.exps.casestudy import get_context
+        from repro.exps.fig4 import fault_assumption_cases, format_fig4
+
+        return format_fig4(
+            fault_assumption_cases(get_context(seed=seed), reps=reps)
+        )
+    if name in ("fig5", "fig6"):
+        from repro.exps.casestudy import get_context
+        from repro.exps.fig5_6 import format_fig5, format_fig6, instance_scaling
+
+        rows = instance_scaling(get_context(seed=seed))
+        return format_fig5(rows) if name == "fig5" else format_fig6(rows)
+    if name in ("fig7", "fig8"):
+        from repro.exps.casestudy import get_context
+        from repro.exps.fig7_8 import format_fig7_8, full_system_curves
+
+        ranks = 64 if name == "fig7" else 1000
+        return format_fig7_8(
+            full_system_curves(ranks, ctx=get_context(seed=seed), reps=reps)
+        )
+    if name == "fig9":
+        from repro.exps.casestudy import get_context
+        from repro.exps.fig9 import format_fig9, overhead_prediction
+
+        return format_fig9(overhead_prediction(get_context(seed=seed), reps=reps))
+    if name == "table3":
+        from repro.exps.casestudy import get_context
+        from repro.exps.table3 import format_table3, instance_model_mape
+
+        return format_table3(instance_model_mape(get_context(seed=seed)))
+    if name == "table4":
+        from repro.exps.casestudy import get_context
+        from repro.exps.table4 import format_table4, full_system_mape
+
+        return format_table4(full_system_mape(get_context(seed=seed), reps=reps))
+    if name == "ext1":
+        from repro.exps.extensions import all_levels_full_system, format_ext1
+
+        return format_ext1(all_levels_full_system(reps=reps))
+    if name == "ext2":
+        from repro.exps.extensions import format_ext2, level_selection_sweep
+
+        return format_ext2(level_selection_sweep())
+    if name == "ext3":
+        from repro.exps.extensions import architectural_dse, format_ext3
+
+        return format_ext3(architectural_dse(reps=reps))
+    if name == "ext4":
+        from repro.exps.extensions import format_ext4, hardware_upgrade_dse
+
+        return format_ext4(hardware_upgrade_dse(reps=reps))
+    if name == "ext5":
+        from repro.exps.extensions import format_ext5, level_fault_dse
+
+        return format_ext5(level_fault_dse(reps=reps))
+    if name == "ext6":
+        from repro.exps.extensions import abft_vs_checkpointing, format_ext6
+
+        return format_ext6(abft_vs_checkpointing())
+    if name == "ext7":
+        from repro.exps.extensions import format_ext7, granularity_ablation
+
+        return format_ext7(granularity_ablation(reps=reps, seed=seed))
+    if name == "abl1":
+        from repro.exps.ablations import format_abl1, modeling_method_ablation
+        from repro.exps.casestudy import get_context
+
+        return format_abl1(modeling_method_ablation(get_context(seed=seed)))
+    if name == "abl2":
+        from repro.exps.ablations import format_abl2, youngdaly_ablation
+        from repro.exps.casestudy import get_context
+
+        return format_abl2(youngdaly_ablation(get_context(seed=seed), reps=reps))
+    if name == "abl3":
+        from repro.exps.ablations import analytical_baselines, format_abl3
+
+        return format_abl3(analytical_baselines())
+    if name == "abl4":
+        from repro.exps.ablations import engine_ablation, format_abl4
+
+        return format_abl4(engine_ablation())
+    raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
+
+
+def _fit_models(out: str, seed: int, all_levels: bool) -> str:
+    from repro.core.workflow import ModelDevelopment
+    from repro.exps.casestudy import CASE_KERNELS
+    from repro.exps.extensions import ALL_LEVEL_KERNELS
+    from repro.models.registry import ModelRegistry
+    from repro.testbed.quartz import make_quartz
+
+    kernels = ALL_LEVEL_KERNELS if all_levels else CASE_KERNELS
+    machine = make_quartz()
+    dev = ModelDevelopment(machine, kernels, seed=seed).run()
+    registry = ModelRegistry.from_fitted(dev.fitted, machine=machine.name)
+    registry.save(out)
+    table = dev.validation_table()
+    lines = [f"saved {len(registry)} models to {out}"]
+    for kernel, mape in sorted(table.items()):
+        lines.append(f"  {kernel}: full-grid MAPE {mape:.2f}%")
+    return "\n".join(lines)
+
+
+def _show_models(path: str) -> str:
+    from repro.models.registry import ModelRegistry
+
+    registry = ModelRegistry.load(path)
+    lines = [f"registry for machine {registry.machine!r}: {len(registry)} models"]
+    for kernel in registry.kernels():
+        model = registry.get(kernel)
+        desc = getattr(model, "expression", type(model).__name__)
+        lines.append(f"  {kernel}: {desc}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (artifact, desc) in _EXPERIMENTS.items():
+            print(f"{name:<8s} {artifact:<10s} {desc}")
+        return 0
+    if args.command == "fit-models":
+        print(_fit_models(args.out, args.seed, args.all_levels))
+        return 0
+    if args.command == "show-models":
+        print(_show_models(args.path))
+        return 0
+    print(_run_experiment(args.command, args.seed, args.reps))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""BE-SST core: Behavioral Emulation modeling and simulation with
+fault-tolerance awareness.
+
+The pieces map onto the paper's Fig. 2 workflow:
+
+* :mod:`~repro.core.instructions` / :mod:`~repro.core.beo` — AppBEOs
+  (abstract instruction streams) and ArchBEOs (architecture descriptions
+  binding performance models to instructions),
+* :mod:`~repro.core.simulator` — the BE-SST simulator: ranks execute
+  abstract instructions, polling the ArchBEO for each instruction's
+  predicted runtime and advancing the simulation clock,
+* :mod:`~repro.core.ft` — the FT-awareness extension (checkpoint
+  instructions, FT scenarios; Case 3 of Fig. 4),
+* :mod:`~repro.core.fault_injection` — fault injection and
+  restart-from-checkpoint (Cases 2 and 4; the paper's future work),
+* :mod:`~repro.core.montecarlo` — Monte-Carlo replication capturing
+  calibration variance,
+* :mod:`~repro.core.workflow` — Model-Development and Co-Design phase
+  drivers,
+* :mod:`~repro.core.dse` — design-space sweep utilities (Fig. 9),
+* :mod:`~repro.core.validation` — MAPE validation harness
+  (Tables III/IV).
+"""
+
+from repro.core.instructions import (
+    Instruction,
+    Compute,
+    Checkpoint,
+    Collective,
+    Exchange,
+    Marker,
+    unroll_loop,
+)
+from repro.core.beo import AppBEO, ArchBEO
+from repro.core.simulator import BESSTSimulator, SimulationResult, RankTimeline
+from repro.core.ft import FTScenario, NO_FT, scenario_l1, scenario_l1_l2
+from repro.core.fault_injection import FaultInjector, FaultModel, FaultEventLog
+from repro.core.montecarlo import MonteCarloRunner, Distribution
+from repro.core.validation import ValidationReport, validate_simulation
+from repro.core.dse import DesignPoint, sweep, overhead_matrix
+from repro.core.workflow import (
+    ModelDevelopment,
+    ModelDevelopmentResult,
+    build_archbeo,
+    simulate_design_point,
+)
+
+__all__ = [
+    "Instruction",
+    "Compute",
+    "Checkpoint",
+    "Collective",
+    "Exchange",
+    "Marker",
+    "unroll_loop",
+    "AppBEO",
+    "ArchBEO",
+    "BESSTSimulator",
+    "SimulationResult",
+    "RankTimeline",
+    "FTScenario",
+    "NO_FT",
+    "scenario_l1",
+    "scenario_l1_l2",
+    "FaultInjector",
+    "FaultModel",
+    "FaultEventLog",
+    "MonteCarloRunner",
+    "Distribution",
+    "ValidationReport",
+    "validate_simulation",
+    "DesignPoint",
+    "sweep",
+    "overhead_matrix",
+    "ModelDevelopment",
+    "ModelDevelopmentResult",
+    "build_archbeo",
+    "simulate_design_point",
+]

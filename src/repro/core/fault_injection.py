@@ -1,0 +1,157 @@
+"""Fault injection for BE-SST simulations (Cases 2 and 4 of Fig. 4).
+
+A :class:`FaultInjector` draws node time-to-failure from an exponential or
+Weibull distribution and fires failures into a running
+:class:`~repro.core.simulator.BESSTSimulator`.  With an FT-aware AppBEO
+the simulator rolls every rank back to its last completed checkpoint
+(Case 4); without checkpoints the application restarts from the beginning
+(Case 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-node failure process.
+
+    Parameters
+    ----------
+    node_mtbf_s:
+        Mean time between failures of a single node, seconds.
+    distribution:
+        ``"exponential"`` (memoryless) or ``"weibull"``.
+    weibull_shape:
+        Weibull shape k; < 1 models infant-mortality-dominated behaviour
+        typical of HPC failure logs.
+    software_fraction:
+        Share of failures that are software/transient (process crash with
+        node storage intact) rather than node losses.  Any checkpoint
+        level recovers a software failure; node failures need a level
+        whose protection domain covers node loss (L2+).
+    """
+
+    node_mtbf_s: float
+    distribution: str = "exponential"
+    weibull_shape: float = 0.7
+    software_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_s <= 0:
+            raise ValueError(f"node_mtbf_s must be > 0, got {self.node_mtbf_s}")
+        if self.distribution not in ("exponential", "weibull"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.weibull_shape <= 0:
+            raise ValueError(f"weibull_shape must be > 0, got {self.weibull_shape}")
+        if not 0.0 <= self.software_fraction <= 1.0:
+            raise ValueError(
+                f"software_fraction must be in [0,1], got {self.software_fraction}"
+            )
+
+    def draw_kind(self, rng: np.random.Generator) -> str:
+        """``"software"`` or ``"node"``."""
+        return "software" if rng.random() < self.software_fraction else "node"
+
+    def system_mtbf(self, nnodes: int) -> float:
+        """MTBF of an *nnodes* system (failures superpose)."""
+        if nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+        return self.node_mtbf_s / nnodes
+
+    def draw_interarrival(self, rng: np.random.Generator, nnodes: int) -> float:
+        """Time to the next system-wide failure."""
+        mtbf = self.system_mtbf(nnodes)
+        if self.distribution == "exponential":
+            return float(rng.exponential(mtbf))
+        k = self.weibull_shape
+        # scale lambda so that the mean of Weibull(k, lambda) is mtbf
+        from math import gamma
+
+        lam = mtbf / gamma(1 + 1 / k)
+        return float(lam * rng.weibull(k))
+
+
+@dataclass
+class FaultEventLog:
+    """Chronological record of injected failures."""
+
+    entries: list[tuple[float, int, str]] = field(default_factory=list)
+
+    def add(self, time: float, node: int, kind: str = "node") -> None:
+        self.entries.append((time, node, kind))
+
+    def count(self) -> int:
+        return len(self.entries)
+
+    def times(self) -> list[float]:
+        return [t for t, _, _ in self.entries]
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for _, _, k in self.entries if k == kind)
+
+
+class FaultInjector:
+    """Streams failures into a simulator until the job completes.
+
+    Parameters
+    ----------
+    model:
+        The failure process.
+    nnodes:
+        Nodes in the simulated allocation (sets the system failure rate).
+    seed:
+        Private RNG seed (independent of the simulator's model noise).
+    max_faults:
+        Safety bound; injection stops after this many failures.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        nnodes: int,
+        seed: int = 12345,
+        max_faults: int = 10_000,
+    ) -> None:
+        if nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+        self.model = model
+        self.nnodes = nnodes
+        self.rng = np.random.default_rng(seed)
+        self.max_faults = max_faults
+        self.log = FaultEventLog()
+        self.sim = None
+        self._pending = None
+
+    # -- simulator binding --------------------------------------------------------
+
+    def attach(self, sim) -> None:
+        """Called by the simulator constructor; schedules the first fault."""
+        if self.sim is not None:
+            raise RuntimeError("FaultInjector is already attached to a simulator")
+        self.sim = sim
+        self._schedule_next()
+
+    def detach(self) -> None:
+        """Stop injecting (job finished)."""
+        if self.sim is not None and self._pending is not None:
+            self.sim.engine.cancel(self._pending)
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        if self.log.count() >= self.max_faults:
+            return
+        dt = self.model.draw_interarrival(self.rng, self.nnodes)
+        self._pending = self.sim.engine.schedule(dt, self._fire)
+
+    def _fire(self, ev) -> None:
+        self._pending = None
+        node = int(self.rng.integers(0, self.nnodes))
+        kind = self.model.draw_kind(self.rng)
+        self.log.add(self.sim.engine.now, node, kind)
+        self.sim.inject_fault(node, kind)
+        self._schedule_next()

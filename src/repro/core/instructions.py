@@ -1,0 +1,126 @@
+"""The abstract instruction set of AppBEOs.
+
+An AppBEO is "a list of abstract instructions that represents the major
+functions and control flow of the application under study".  Instructions
+carry only the parameters that affect performance; executing one makes the
+simulator poll the ArchBEO's performance model instead of doing real work.
+
+The FT-awareness extension adds :class:`Checkpoint` — a tagged model call
+whose time is accounted as fault-tolerance overhead and which records a
+restart point for fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; all instructions are immutable value objects."""
+
+
+@dataclass(frozen=True)
+class Compute(Instruction):
+    """A modeled computation block.
+
+    Parameters
+    ----------
+    kernel:
+        Name of the performance model in the ArchBEO (e.g.
+        ``"lulesh_timestep"``).
+    params:
+        Model parameters as an (immutable) tuple of ``(name, value)``.
+    """
+
+    kernel: str
+    params: tuple = ()
+
+    @staticmethod
+    def of(kernel: str, **params: float) -> "Compute":
+        return Compute(kernel, tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class Checkpoint(Instruction):
+    """A modeled checkpoint instance (the FT-aware instruction).
+
+    ``level`` tags which FTI level this instance represents; ``kernel``
+    names its performance model (e.g. ``"fti_l1"``).  Completing a
+    Checkpoint records a restart point used by fault injection.
+    """
+
+    level: int
+    kernel: str
+    params: tuple = ()
+
+    @staticmethod
+    def of(level: int, kernel: str, **params: float) -> "Checkpoint":
+        return Checkpoint(level, kernel, tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class Collective(Instruction):
+    """A synchronizing collective over all ranks.
+
+    ``op`` is one of ``"barrier"``, ``"allreduce"``, ``"broadcast"``,
+    ``"reduce"``, ``"gather"``, ``"alltoall"``.  All ranks must arrive;
+    everyone is released at ``max(arrival) + cost`` where the cost comes
+    from the ArchBEO's collective model.
+    """
+
+    op: str
+    nbytes: int = 0
+
+    _VALID = ("barrier", "allreduce", "broadcast", "reduce", "gather", "alltoall")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"unknown collective {self.op!r}")
+        if self.nbytes < 0:
+            raise ValueError(f"negative payload {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Exchange(Instruction):
+    """A nearest-neighbour halo exchange, modeled (not message-simulated).
+
+    ``neighbors`` is the per-rank neighbour count of the pattern (6 for a
+    3-D face exchange); the cost model prices ``neighbors`` concurrent
+    2-hop messages of ``nbytes`` each.
+    """
+
+    nbytes: int
+    neighbors: int = 6
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0 or self.neighbors < 0:
+            raise ValueError("nbytes and neighbors must be non-negative")
+
+
+@dataclass(frozen=True)
+class Marker(Instruction):
+    """A zero-cost label recorded in the rank timeline (instrumentation)."""
+
+    name: str
+
+
+def unroll_loop(body: Sequence[Instruction], count: int) -> list[Instruction]:
+    """Flatten ``count`` iterations of *body* into one instruction list.
+
+    AppBEO builders unroll loops at build time, keeping the simulator's
+    executor a simple program counter.
+    """
+    if count < 0:
+        raise ValueError(f"negative loop count {count}")
+    out: list[Instruction] = []
+    for _ in range(count):
+        out.extend(body)
+    return out

@@ -1,0 +1,113 @@
+"""Monte-Carlo replication of BE-SST simulations.
+
+"Because actual machine performance is non-deterministic due to noise and
+other factors, BE-SST implements Monte Carlo simulations to capture the
+variance that exists in the calibration samples" — each scatter point in
+Fig. 1 is a *distribution* of simulated runtimes.  This module runs a
+simulation factory across seeds and summarises the resulting distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.simulator import BESSTSimulator, SimulationResult
+
+
+@dataclass
+class Distribution:
+    """Summary of a sample of simulated runtimes."""
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.samples.size == 0:
+            raise ValueError("empty sample")
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(self.samples.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.samples.max())
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (relative spread)."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n": int(self.samples.size),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
+
+
+@dataclass
+class MonteCarloResult:
+    """All replicas of one Monte-Carlo simulation campaign."""
+
+    total_time: Distribution
+    results: list[SimulationResult] = field(repr=False, default_factory=list)
+
+    @property
+    def checkpoint_time(self) -> Distribution:
+        return Distribution(np.array([r.checkpoint_time for r in self.results]))
+
+    @property
+    def mean_rollbacks(self) -> float:
+        return float(np.mean([r.rollbacks for r in self.results]))
+
+
+class MonteCarloRunner:
+    """Runs a simulator factory across seeds.
+
+    Parameters
+    ----------
+    reps:
+        Number of replicas.
+    base_seed:
+        Replica *i* runs with seed ``base_seed + i``.
+    """
+
+    def __init__(self, reps: int = 20, base_seed: int = 0) -> None:
+        if reps < 1:
+            raise ValueError(f"reps must be >= 1, got {reps}")
+        self.reps = reps
+        self.base_seed = base_seed
+
+    def run(
+        self,
+        factory: Callable[[int], BESSTSimulator],
+        max_events: Optional[int] = None,
+    ) -> MonteCarloResult:
+        """Build and run ``factory(seed)`` for each replica seed."""
+        results = []
+        for i in range(self.reps):
+            sim = factory(self.base_seed + i)
+            results.append(sim.run(max_events=max_events))
+        return MonteCarloResult(
+            total_time=Distribution(np.array([r.total_time for r in results])),
+            results=results,
+        )

@@ -1,0 +1,456 @@
+"""The BE-SST simulator: ranks executing abstract instructions.
+
+Each simulated MPI rank is a DES component; executing an instruction polls
+the ArchBEO for its predicted runtime and advances that rank's clock.
+Collectives rendezvous all ranks and release them together at
+``max(arrival) + modeled cost``.  Consecutive non-synchronizing
+instructions are batched into a single event, which keeps a
+1000-rank × 200-timestep case-study simulation at a few hundred thousand
+events.
+
+Fault injection (Cases 2 and 4 of Fig. 4) plugs in through
+:meth:`BESSTSimulator.run`'s ``fault_injector``: node failures trigger a
+coordinated rollback of every rank to its last completed checkpoint (or to
+the very beginning when the application carries no checkpoints), plus the
+ArchBEO's recovery downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.beo import AppBEO, ArchBEO
+from repro.core.instructions import (
+    Checkpoint,
+    Collective,
+    Compute,
+    Exchange,
+    Instruction,
+    Marker,
+)
+from repro.des.component import Component
+from repro.des.engine import Engine
+from repro.des.event import Event
+
+
+@dataclass
+class TimelineEntry:
+    """One executed instruction on one rank."""
+
+    t_start: float
+    t_end: float
+    kind: str           #: "compute" | "checkpoint" | "collective" | "exchange" | "marker" | "rollback"
+    label: str
+    level: int = 0      #: checkpoint level when kind == "checkpoint"
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class RankTimeline:
+    """Recorded execution history of one rank."""
+
+    rank: int
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    def checkpoint_marks(self) -> list[tuple[float, int]]:
+        """(completion time, level) of every checkpoint instance — the
+        black dots on Figs. 7-8."""
+        return [
+            (e.t_end, e.level) for e in self.entries if e.kind == "checkpoint"
+        ]
+
+    def time_in(self, kind: str) -> float:
+        return sum(e.duration for e in self.entries if e.kind == kind)
+
+    def cumulative_curve(self) -> list[tuple[float, int]]:
+        """(time, completed instruction count) — runtime-vs-progress data
+        for the full-application runtime figures."""
+        return [(e.t_end, i + 1) for i, e in enumerate(self.entries)]
+
+
+@dataclass
+class SimulationResult:
+    """Output of one BE-SST simulation run."""
+
+    total_time: float
+    finish_times: list[float]
+    timelines: dict[int, RankTimeline]
+    nranks: int
+    events_fired: int
+    checkpoint_time: float          #: rank-0 time spent inside Checkpoint instructions
+    compute_time: float             #: rank-0 time in Compute instructions
+    collective_time: float          #: rank-0 time in collectives
+    faults_injected: int = 0
+    rollbacks: int = 0
+    wasted_time: float = 0.0        #: recomputed + downtime attributable to faults
+
+    @property
+    def ft_overhead_fraction(self) -> float:
+        """Share of rank-0 busy time spent checkpointing."""
+        busy = self.compute_time + self.collective_time + self.checkpoint_time
+        return self.checkpoint_time / busy if busy > 0 else 0.0
+
+    def checkpoint_marks(self) -> list[tuple[float, int]]:
+        tl = self.timelines.get(0)
+        return tl.checkpoint_marks() if tl else []
+
+
+class _SyncDomain:
+    """Rendezvous state for one collective call site sequence.
+
+    Collectives are totally ordered per rank (SPMD), so a single counter
+    per call-index suffices: the n-th collective executed by each rank is
+    matched with every other rank's n-th collective.
+    """
+
+    def __init__(self, sim: "BESSTSimulator") -> None:
+        self.sim = sim
+        self._arrivals: dict[int, list] = {}   # call index -> [(comp, t_arrive)]
+        self._pending_releases: list[Event] = []
+
+    def arrive(self, comp: "_Rank", call_index: int, instr: Collective) -> None:
+        lst = self._arrivals.setdefault(call_index, [])
+        lst.append((comp, comp.now))
+        if len(lst) == self.sim.nranks:
+            t_max = max(t for _, t in lst)
+            cost = self.sim.archbeo.collective_time(instr, self.sim.nranks)
+            release_at = max(t_max + cost, comp.now)
+            # One release event frees every rank (equivalent to per-rank
+            # events at the same timestamp, at 1/nranks the event count).
+            ev = Event(
+                time=release_at,
+                handler=self._release_all,
+                payload=(list(lst), instr, cost),
+            )
+            self._pending_releases.append(self.sim.engine.schedule_event(ev))
+            del self._arrivals[call_index]
+
+    def _release_all(self, ev: Event) -> None:
+        lst, instr, cost = ev.payload
+        for c, _t in lst:
+            if c.record:
+                c.timeline.entries.append(
+                    TimelineEntry(c.now - cost, c.now, "collective", instr.op)
+                )
+            c.advance()
+
+    def reset(self, engine: Engine) -> None:
+        """Drop all rendezvous state (used on fault rollback)."""
+        for ev in self._pending_releases:
+            engine.cancel(ev)
+        self._pending_releases.clear()
+        self._arrivals.clear()
+
+
+class _Rank(Component):
+    """One simulated MPI rank executing its AppBEO instruction stream."""
+
+    def __init__(self, rank: int, sim: "BESSTSimulator", program: Sequence[Instruction]):
+        super().__init__(f"rank{rank}")
+        self.rank = rank
+        self.sim = sim
+        self.program = list(program)
+        self.pc = 0
+        self.collective_calls = 0
+        self.done = False
+        self.finish_time: Optional[float] = None
+        self.record = rank in sim._recorded_ranks
+        self.timeline = RankTimeline(rank)
+        #: checkpoints completed by this rank
+        self.ckpt_seq = 0
+        #: ckpt_seq -> (resume pc, collective_calls, completion time,
+        #: ckpt cost, checkpoint level); seq 0 is "the beginning" and is
+        #: never pruned.  A short history window is retained so
+        #: level-aware recovery can walk back to an older, higher-level
+        #: checkpoint when the newest one does not cover the fault kind.
+        self.restart_history: dict[int, tuple[int, int, float, float, int]] = {
+            0: (0, 0, 0.0, 0.0, 0)
+        }
+        self._pending: Optional[Event] = None
+
+    def setup(self) -> None:
+        self._pending = self.schedule(0.0, lambda ev: self.advance())
+
+    # -- execution ---------------------------------------------------------------
+
+    def advance(self) -> None:
+        """Execute instructions until blocking on a collective or finishing."""
+        self._pending = None
+        while self.pc < len(self.program):
+            instr = self.program[self.pc]
+            if isinstance(instr, Collective):
+                self.pc += 1
+                self.collective_calls += 1
+                self.sim.sync.arrive(self, self.collective_calls - 1, instr)
+                return
+            if isinstance(instr, Marker):
+                if self.record:
+                    self.timeline.entries.append(
+                        TimelineEntry(self.now, self.now, "marker", instr.name)
+                    )
+                self.pc += 1
+                continue
+            # Batch consecutive non-synchronizing instructions.
+            dt, batch = self._price_batch()
+            self._pending = self.schedule(dt, self._on_batch_done, payload=batch)
+            return
+        if not self.done:
+            self.done = True
+            self.finish_time = self.now
+            self.sim._rank_finished(self)
+
+    def _price_batch(self) -> tuple[float, list]:
+        """Price the run of local instructions starting at ``pc``.
+
+        Returns total duration and ``(instr, start_offset, duration)``
+        records for the timeline.
+        """
+        t_off = 0.0
+        batch = []
+        while self.pc < len(self.program):
+            instr = self.program[self.pc]
+            if isinstance(instr, Compute):
+                dt = self.sim.archbeo.predict(
+                    instr.kernel, instr.param_dict(), self._model_rng()
+                )
+            elif isinstance(instr, Checkpoint):
+                dt = self.sim.archbeo.predict(
+                    instr.kernel, instr.param_dict(), self._model_rng()
+                )
+            elif isinstance(instr, Exchange):
+                dt = self.sim.archbeo.exchange_time(instr)
+            elif isinstance(instr, Marker):
+                dt = 0.0
+            else:
+                break
+            batch.append((instr, t_off, dt))
+            t_off += dt
+            self.pc += 1
+        return t_off, batch
+
+    def _on_batch_done(self, ev: Event) -> None:
+        t_end = self.now
+        batch = ev.payload
+        t_start = t_end - sum(d for _, _, d in batch)
+        base = self.pc - len(batch)  # pc of the first batched instruction
+        for i, (instr, off, dt) in enumerate(batch):
+            if self.record:
+                kind = (
+                    "compute"
+                    if isinstance(instr, Compute)
+                    else "checkpoint"
+                    if isinstance(instr, Checkpoint)
+                    else "exchange"
+                    if isinstance(instr, Exchange)
+                    else "marker"
+                )
+                label = getattr(instr, "kernel", None) or getattr(
+                    instr, "name", type(instr).__name__.lower()
+                )
+                self.timeline.entries.append(
+                    TimelineEntry(
+                        t_start + off,
+                        t_start + off + dt,
+                        kind,
+                        label,
+                        level=getattr(instr, "level", 0),
+                    )
+                )
+            if isinstance(instr, Checkpoint):
+                # Restart point: resume AFTER this checkpoint instruction.
+                self.ckpt_seq += 1
+                self.restart_history[self.ckpt_seq] = (
+                    base + i + 1,
+                    self.collective_calls,
+                    t_start + off + dt,
+                    dt,
+                    instr.level,
+                )
+                stale = self.ckpt_seq - 6
+                if stale > 0:
+                    self.restart_history.pop(stale, None)
+        self.advance()
+
+    def _model_rng(self) -> Optional[np.random.Generator]:
+        return self.rng if self.sim.monte_carlo else None
+
+    # -- fault handling -----------------------------------------------------------
+
+    def rollback(self, seq: int, resume_delay: float) -> None:
+        """Reset to checkpoint *seq*; resume after *resume_delay*."""
+        if self._pending is not None:
+            self.engine.cancel(self._pending)
+            self._pending = None
+        pc, coll, t_ckpt, ckpt_cost, _level = self.restart_history[seq]
+        # discard any checkpoint taken after the committed one
+        for later in [s for s in self.restart_history if s > seq]:
+            del self.restart_history[later]
+        self.ckpt_seq = seq
+        self.pc = pc
+        self.collective_calls = coll
+        self.done = False
+        self.finish_time = None
+        if self.record:
+            self.timeline.entries.append(
+                TimelineEntry(self.now, self.now + resume_delay, "rollback", "rollback")
+            )
+        # Track the resume event so a second fault during recovery can
+        # cancel it (otherwise the rank would resume twice).
+        self._pending = self.schedule(resume_delay, lambda ev: self.advance())
+
+    def handle_event(self, port_name, payload, time) -> None:  # pragma: no cover
+        raise RuntimeError("rank components do not use ports")
+
+
+class BESSTSimulator:
+    """Drives one BE-SST simulation of an AppBEO on an ArchBEO.
+
+    Parameters
+    ----------
+    appbeo / archbeo:
+        The application and architecture models.
+    nranks:
+        MPI ranks to simulate.
+    params:
+        Application parameters (merged over the AppBEO defaults).
+    seed:
+        Seed for per-rank model-noise streams.
+    monte_carlo:
+        When true (default), model predictions draw from calibration
+        distributions; when false, deterministic central predictions.
+    record_timelines:
+        Which ranks record full timelines: ``"rank0"`` (default),
+        ``"all"``, or ``"none"``.
+    fault_injector:
+        Optional :class:`~repro.core.fault_injection.FaultInjector`
+        enabling Cases 2/4.
+    """
+
+    def __init__(
+        self,
+        appbeo: AppBEO,
+        archbeo: ArchBEO,
+        nranks: int,
+        params: Optional[Mapping[str, float]] = None,
+        seed: int = 0,
+        monte_carlo: bool = True,
+        record_timelines: str = "rank0",
+        fault_injector=None,
+    ) -> None:
+        if record_timelines not in ("rank0", "all", "none"):
+            raise ValueError(f"invalid record_timelines {record_timelines!r}")
+        appbeo.check_ranks(nranks)
+        self.appbeo = appbeo
+        self.archbeo = archbeo
+        self.nranks = nranks
+        self.params = dict(params or {})
+        self.monte_carlo = monte_carlo
+        self.engine = Engine(seed=seed)
+        self.sync = _SyncDomain(self)
+        self.fault_injector = fault_injector
+        self._recorded_ranks = (
+            set(range(nranks))
+            if record_timelines == "all"
+            else {0}
+            if record_timelines == "rank0"
+            else set()
+        )
+        self._ranks: list[_Rank] = []
+        self._finished = 0
+        self._result: Optional[SimulationResult] = None
+        self.faults_injected = 0
+        self.rollbacks = 0
+        self.wasted_time = 0.0
+
+        program0 = self.appbeo.build(0, nranks, self.params)
+        for r in range(nranks):
+            program = program0 if r == 0 else self.appbeo.build(r, nranks, self.params)
+            self._ranks.append(self.engine.register(_Rank(r, self, program)))
+
+        if fault_injector is not None:
+            fault_injector.attach(self)
+
+    # -- callbacks ---------------------------------------------------------------------
+
+    def _rank_finished(self, rank: "_Rank") -> None:
+        self._finished += 1
+        if self._finished == self.nranks and self.fault_injector is not None:
+            self.fault_injector.detach()
+
+    #: minimum checkpoint level whose protection domain covers each fault
+    #: kind: software/transient crashes leave node storage intact (any
+    #: level), node losses need partner/RS/PFS protection (Table I)
+    MIN_LEVEL_FOR_KIND = {"software": 1, "node": 2}
+
+    def inject_fault(self, node: int, kind: str = "software") -> None:
+        """Coordinated, level-aware failure handling.
+
+        Every rank rolls back to the newest *globally committed*
+        checkpoint whose level covers the fault *kind* — or to the very
+        beginning when no surviving checkpoint does (an L1-only run hit
+        by a node loss restarts from scratch, the cost-benefit asymmetry
+        Table I's levels trade against).  Recovery pays the ArchBEO
+        downtime plus one read-back of the chosen checkpoint.
+        """
+        if self._finished == self.nranks:
+            return
+        min_level = self.MIN_LEVEL_FOR_KIND.get(kind)
+        if min_level is None:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected "
+                f"{sorted(self.MIN_LEVEL_FOR_KIND)}"
+            )
+        self.faults_injected += 1
+        now = self.engine.now
+        self.sync.reset(self.engine)
+        self._finished = 0
+        delay_base = self.archbeo.recovery_time_s
+        seq_star = min(r.ckpt_seq for r in self._ranks)
+        chosen = 0
+        for seq in range(seq_star, 0, -1):
+            entries = [r.restart_history.get(seq) for r in self._ranks]
+            if any(e is None for e in entries):
+                continue
+            if entries[0][4] >= min_level:
+                chosen = seq
+                break
+        for rank in self._ranks:
+            _, _, t_ckpt, ckpt_cost, _level = rank.restart_history[chosen]
+            self.wasted_time += (now - t_ckpt) / self.nranks
+            rank.rollback(chosen, delay_base + ckpt_cost)
+        self.wasted_time += delay_base
+        self.rollbacks += 1
+
+    # -- run --------------------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> SimulationResult:
+        """Execute the simulation to completion and return the result."""
+        if self._result is not None:
+            return self._result
+        self.engine.run(max_events=max_events)
+        unfinished = [r.rank for r in self._ranks if not r.done]
+        if unfinished:
+            raise RuntimeError(
+                f"simulation ended with unfinished ranks {unfinished[:5]}"
+            )
+        tl0 = self._ranks[0].timeline
+        self._result = SimulationResult(
+            total_time=max(r.finish_time for r in self._ranks),
+            finish_times=[r.finish_time for r in self._ranks],
+            timelines={r.rank: r.timeline for r in self._ranks if r.record},
+            nranks=self.nranks,
+            events_fired=self.engine.events_fired,
+            checkpoint_time=tl0.time_in("checkpoint"),
+            compute_time=tl0.time_in("compute") + tl0.time_in("exchange"),
+            collective_time=tl0.time_in("collective"),
+            faults_injected=self.faults_injected,
+            rollbacks=self.rollbacks,
+            wasted_time=self.wasted_time,
+        )
+        return self._result

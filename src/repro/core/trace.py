@@ -1,0 +1,134 @@
+"""Timeline export: Chrome trace-event format and text Gantt rendering.
+
+Rank timelines from :class:`~repro.core.simulator.SimulationResult` can
+be inspected in ``chrome://tracing`` / Perfetto (each rank a row, each
+instruction a duration event, checkpoints flagged) or rendered as a
+quick terminal Gantt chart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.core.simulator import RankTimeline, SimulationResult
+
+#: trace colours by instruction kind (Chrome trace colour names)
+_COLORS = {
+    "compute": "thread_state_running",
+    "exchange": "thread_state_iowait",
+    "collective": "thread_state_sleeping",
+    "checkpoint": "terrible",
+    "rollback": "black",
+    "marker": "grey",
+}
+
+
+def to_chrome_trace(
+    result: SimulationResult,
+    time_unit_us: float = 1e6,
+) -> dict:
+    """Convert recorded timelines to a Chrome trace-event JSON object.
+
+    Parameters
+    ----------
+    result:
+        A simulation result with at least one recorded timeline.
+    time_unit_us:
+        Multiplier from simulation seconds to trace microseconds.
+    """
+    if not result.timelines:
+        raise ValueError(
+            "no recorded timelines; run the simulator with "
+            'record_timelines="rank0" or "all"'
+        )
+    events = []
+    for rank, tl in sorted(result.timelines.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        for e in tl.entries:
+            if e.t_end <= e.t_start and e.kind == "marker":
+                events.append(
+                    {
+                        "name": e.label,
+                        "ph": "i",
+                        "s": "t",
+                        "pid": 0,
+                        "tid": rank,
+                        "ts": e.t_start * time_unit_us,
+                    }
+                )
+                continue
+            ev = {
+                "name": e.label,
+                "cat": e.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": rank,
+                "ts": e.t_start * time_unit_us,
+                "dur": max(e.duration, 0.0) * time_unit_us,
+            }
+            color = _COLORS.get(e.kind)
+            if color:
+                ev["cname"] = color
+            if e.kind == "checkpoint":
+                ev["args"] = {"level": e.level}
+            events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(result: SimulationResult, path) -> None:
+    """Write the Chrome trace JSON to *path*."""
+    Path(path).write_text(json.dumps(to_chrome_trace(result)))
+
+
+def render_gantt(
+    timeline: RankTimeline,
+    width: int = 80,
+    t_end: Optional[float] = None,
+    symbols: Optional[Mapping[str, str]] = None,
+) -> str:
+    """A one-line-per-kind ASCII Gantt chart of one rank's timeline.
+
+    Each row shows where time went: ``#`` compute, ``=`` exchange,
+    ``~`` collective, ``C`` checkpoint, ``!`` rollback.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not timeline.entries:
+        return "(empty timeline)"
+    sym = {
+        "compute": "#",
+        "exchange": "=",
+        "collective": "~",
+        "checkpoint": "C",
+        "rollback": "!",
+    }
+    if symbols:
+        sym.update(symbols)
+    horizon = t_end if t_end is not None else max(e.t_end for e in timeline.entries)
+    if horizon <= 0:
+        return "(zero-length timeline)"
+    rows = {}
+    for kind, ch in sym.items():
+        rows[kind] = [" "] * width
+    for e in timeline.entries:
+        if e.kind not in rows:
+            continue
+        lo = int(e.t_start / horizon * (width - 1))
+        hi = max(int(e.t_end / horizon * (width - 1)), lo)
+        for i in range(lo, min(hi + 1, width)):
+            rows[e.kind][i] = sym[e.kind]
+    lines = [f"rank {timeline.rank}, horizon {horizon:.4g}s"]
+    for kind in ("compute", "exchange", "collective", "checkpoint", "rollback"):
+        if any(c != " " for c in rows[kind]):
+            lines.append(f"{kind:>11s} |{''.join(rows[kind])}|")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Validation harness: simulated vs. measured, scored with MAPE.
+
+Produces the row-by-row comparisons behind Tables III and IV and the
+validation regions of Figs. 5-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.models.metrics import mape, percent_error
+
+
+@dataclass
+class ValidationRow:
+    """One parameter point's measured-vs-predicted comparison."""
+
+    point: dict
+    measured: float
+    predicted: float
+
+    @property
+    def percent_error(self) -> float:
+        return percent_error(self.measured, self.predicted)
+
+
+@dataclass
+class ValidationReport:
+    """A set of validation rows plus aggregate error."""
+
+    name: str
+    rows: list[ValidationRow] = field(default_factory=list)
+
+    def add(self, point: Mapping, measured: float, predicted: float) -> None:
+        if measured <= 0:
+            raise ValueError(f"measured value must be > 0, got {measured}")
+        self.rows.append(ValidationRow(dict(point), measured, predicted))
+
+    @property
+    def mape(self) -> float:
+        if not self.rows:
+            raise ValueError(f"report {self.name!r} has no rows")
+        return mape(
+            [r.measured for r in self.rows], [r.predicted for r in self.rows]
+        )
+
+    @property
+    def worst(self) -> ValidationRow:
+        return max(self.rows, key=lambda r: r.percent_error)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "points": len(self.rows),
+            "mape": self.mape,
+            "worst_point": self.worst.point,
+            "worst_error": self.worst.percent_error,
+        }
+
+    def table(self) -> str:
+        """Plain-text table of all rows (for experiment logs)."""
+        lines = [f"== {self.name}: MAPE {self.mape:.2f}% =="]
+        for r in self.rows:
+            pt = ", ".join(f"{k}={v}" for k, v in r.point.items())
+            lines.append(
+                f"  {pt:40s} measured={r.measured:12.6g} "
+                f"predicted={r.predicted:12.6g} err={r.percent_error:6.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def validate_simulation(
+    name: str,
+    measured: Mapping,
+    predicted: Mapping,
+) -> ValidationReport:
+    """Pair up two ``{point_key: value}`` mappings into a report.
+
+    Keys must match exactly; a key may be any hashable (tuples of
+    parameter values are typical).
+    """
+    missing = set(measured) ^ set(predicted)
+    if missing:
+        raise KeyError(f"point mismatch between measured and predicted: {missing}")
+    report = ValidationReport(name)
+    for key in sorted(measured):
+        point = (
+            dict(zip(("epr", "ranks"), key))
+            if isinstance(key, tuple)
+            else {"point": key}
+        )
+        report.add(point, float(measured[key]), float(predicted[key]))
+    return report

@@ -1,0 +1,41 @@
+"""Component-based discrete-event simulation engine (SST substitute).
+
+This subpackage provides the parallel discrete-event simulation (PDES)
+substrate that BE-SST requires from Sandia's Structural Simulation Toolkit:
+
+* :class:`~repro.des.event.Event` — totally-ordered simulation events.
+* :class:`~repro.des.component.Component` — the unit of simulated hardware
+  or software; components communicate only through links and self-events.
+* :class:`~repro.des.link.Link` — a latency-bearing connection between two
+  component ports.
+* :class:`~repro.des.engine.Engine` — the sequential event loop.
+* :class:`~repro.des.parallel.ParallelEngine` — a conservative,
+  lookahead-window (YAWNS-style) partitioned engine that produces results
+  identical to the sequential engine.
+
+The engines are deterministic: given the same components, connections and
+seeds they produce identical event orderings and final states.
+"""
+
+from repro.des.event import Event, EventQueue
+from repro.des.component import Component, Port
+from repro.des.link import Link
+from repro.des.clock import Clock
+from repro.des.engine import Engine, SimulationError
+from repro.des.parallel import ParallelEngine
+from repro.des.partition import partition_components
+from repro.des.rng import RNGRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Component",
+    "Port",
+    "Link",
+    "Clock",
+    "Engine",
+    "SimulationError",
+    "ParallelEngine",
+    "partition_components",
+    "RNGRegistry",
+]

@@ -1,0 +1,70 @@
+"""Periodic clocks, mirroring SST's clock handler registration.
+
+A clock repeatedly invokes a handler at a fixed period until the handler
+returns ``True`` (SST convention for "unregister me") or the clock is
+stopped explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.des.event import PRIORITY_CLOCK, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.component import Component
+
+
+class Clock:
+    """A periodic callback attached to a component.
+
+    Parameters
+    ----------
+    component:
+        Owner; the clock uses its scheduling facilities.
+    period:
+        Seconds between ticks; must be > 0.
+    handler:
+        Called as ``handler(cycle, time)``; return ``True`` to stop.
+    start_delay:
+        Delay before the first tick (defaults to one period).
+    """
+
+    def __init__(
+        self,
+        component: "Component",
+        period: float,
+        handler: Callable[[int, float], Optional[bool]],
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"clock period must be > 0, got {period!r}")
+        self.component = component
+        self.period = float(period)
+        self.handler = handler
+        self.cycle = 0
+        self.running = True
+        first = self.period if start_delay is None else float(start_delay)
+        self._pending = component.schedule(
+            first, self._tick, priority=PRIORITY_CLOCK
+        )
+
+    def _tick(self, _ev: Event) -> None:
+        if not self.running:
+            return
+        self.cycle += 1
+        done = self.handler(self.cycle, self.component.now)
+        if done or not self.running:
+            self.running = False
+            return
+        self._pending = self.component.schedule(
+            self.period, self._tick, priority=PRIORITY_CLOCK
+        )
+
+    def stop(self) -> None:
+        """Stop the clock; any pending tick is cancelled."""
+        self.running = False
+        if self._pending is not None and not self._pending.cancelled:
+            self._pending.cancel()
+            if self.component.engine is not None:
+                self.component.engine.queue.note_cancelled()

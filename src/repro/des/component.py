@@ -1,0 +1,163 @@
+"""Components and ports — the building blocks of a simulated system.
+
+A :class:`Component` models one element of the system under study (a
+simulated MPI rank, a storage device, a network switch...).  Components
+interact only by
+
+* sending payloads out of named :class:`Port` objects, which the engine
+  delivers through :class:`~repro.des.link.Link` latency, and
+* scheduling *self events* at a future simulated time.
+
+This mirrors the SST component contract closely enough that the BE layer
+built on top (``repro.core``) is structured like a real BE-SST element
+library.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from repro.des.event import PRIORITY_NORMAL, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Engine
+    from repro.des.link import Link
+
+
+class Port:
+    """A named connection point on a component.
+
+    Ports are created lazily by :meth:`Component.port` and bound to at most
+    one :class:`~repro.des.link.Link`.
+    """
+
+    def __init__(self, component: "Component", name: str) -> None:
+        self.component = component
+        self.name = name
+        self.link: Optional["Link"] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def peer(self) -> Optional["Port"]:
+        """The port at the far end of this port's link, if connected."""
+        if self.link is None:
+            return None
+        return self.link.other(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.component.name}.{self.name})"
+
+
+class Component:
+    """Base class for simulated system elements.
+
+    Subclasses override :meth:`handle_event` (payload arriving on a port)
+    and optionally :meth:`setup` / :meth:`finish` lifecycle hooks.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the engine; also keys the component's RNG stream
+        and its partition assignment in the parallel engine.
+    engine:
+        Set by :meth:`~repro.des.engine.Engine.register`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.engine: Optional["Engine"] = None
+        self.ports: dict[str, Port] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def setup(self) -> None:
+        """Called once by the engine before the first event fires."""
+
+    def finish(self) -> None:
+        """Called once by the engine after the simulation ends."""
+
+    # -- ports and links ---------------------------------------------------
+
+    def port(self, name: str) -> Port:
+        """Return the port *name*, creating it on first use."""
+        p = self.ports.get(name)
+        if p is None:
+            p = Port(self, name)
+            self.ports[name] = p
+        return p
+
+    # -- time and randomness -----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        if self.engine is None:
+            raise RuntimeError(f"component {self.name!r} is not registered")
+        return self.engine.now
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This component's private deterministic random stream."""
+        if self.engine is None:
+            raise RuntimeError(f"component {self.name!r} is not registered")
+        return self.engine.rngs.get(self.name)
+
+    # -- event scheduling ---------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule *callback* on this component after *delay* seconds.
+
+        Returns the event, which may be cancelled via ``event.cancel()``.
+        """
+        if self.engine is None:
+            raise RuntimeError(f"component {self.name!r} is not registered")
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = Event(
+            time=self.engine.now + delay,
+            handler=callback,
+            payload=payload,
+            priority=priority,
+            src=self.name,
+            dst=self.name,
+        )
+        return self.engine.schedule_event(ev)
+
+    def send(self, port_name: str, payload: Any, extra_delay: float = 0.0) -> Event:
+        """Send *payload* out of *port_name* through its link.
+
+        The payload arrives at the peer component after the link latency
+        plus *extra_delay*, invoking the peer's :meth:`handle_event`.
+        """
+        port = self.port(port_name)
+        if port.link is None:
+            raise RuntimeError(
+                f"port {self.name}.{port_name} is not connected to a link"
+            )
+        return port.link.deliver(port, payload, extra_delay)
+
+    # -- event handling -----------------------------------------------------
+
+    def handle_event(self, port_name: str, payload: Any, time: float) -> None:
+        """Receive *payload* on *port_name* at simulated *time*.
+
+        Default implementation raises; subclasses that own connected ports
+        must override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} ({self.name}) received an event on port "
+            f"{port_name!r} but does not implement handle_event()"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

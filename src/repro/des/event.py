@@ -1,0 +1,141 @@
+"""Simulation events and the pending-event queue.
+
+Events are totally ordered by ``(time, priority, seq)``.  The sequence
+number is assigned at scheduling time and breaks ties deterministically,
+which is what makes both engines reproducible: two events scheduled for the
+same timestamp always fire in scheduling order regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Default event priority.  Lower values fire first at equal timestamps.
+PRIORITY_NORMAL = 100
+#: Priority used by clock ticks so that periodic work precedes messages
+#: delivered at the same instant.
+PRIORITY_CLOCK = 50
+#: Priority for engine-internal bookkeeping (fires before everything else).
+PRIORITY_SYSTEM = 0
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    handler:
+        Callable invoked as ``handler(event)`` when the event fires.
+    payload:
+        Arbitrary user data carried by the event.
+    priority:
+        Secondary ordering key; lower fires first at equal ``time``.
+    seq:
+        Tertiary ordering key; assigned by the queue, unique per event.
+    src / dst:
+        Optional component names, used for tracing and for routing
+        cross-partition events in the parallel engine.
+    """
+
+    time: float
+    handler: Optional[Callable[["Event"], None]] = None
+    payload: Any = None
+    priority: int = PRIORITY_NORMAL
+    seq: int = -1
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(t={self.time:.9g}, prio={self.priority}, seq={self.seq}, "
+            f"src={self.src!r}, dst={self.dst!r})"
+        )
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Wraps :mod:`heapq` with a monotonically increasing sequence counter so
+    that ties on ``(time, priority)`` are broken in insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._cancelled_in_heap = 0
+
+    def __len__(self) -> int:
+        return max(0, len(self._heap) - self._cancelled_in_heap)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() != float("inf")
+
+    def push(self, event: Event) -> Event:
+        """Insert *event*, assigning its sequence number.
+
+        Returns the event for convenience (e.g. to keep a cancellation
+        handle).
+        """
+        if event.seq < 0:
+            event.seq = next(self._counter)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                self._cancelled_in_heap = max(0, self._cancelled_in_heap - 1)
+                continue
+            return ev
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest live event, or ``inf`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled_in_heap = max(0, self._cancelled_in_heap - 1)
+        if not self._heap:
+            return float("inf")
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled while still in the heap.
+
+        Cancellation via :meth:`Event.cancel` alone still works (cancelled
+        events are skipped when popped); this hook merely keeps
+        :func:`len` accurate.
+        """
+        self._cancelled_in_heap += 1
+
+    def drain_until(self, horizon: float) -> list[Event]:
+        """Pop and return every live event with ``time < horizon``, ordered."""
+        out: list[Event] = []
+        while self and self.peek_time() < horizon:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,86 @@
+"""Latency-bearing links between component ports.
+
+A link is the only way payloads cross component boundaries, exactly as in
+SST.  The minimum link latency between partitions is what gives the
+conservative parallel engine its lookahead window, so links enforce a
+strictly positive latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.des.component import Port
+from repro.des.event import PRIORITY_NORMAL, Event
+
+
+class Link:
+    """A bidirectional point-to-point connection with fixed base latency.
+
+    Parameters
+    ----------
+    a, b:
+        The two endpoint ports.  Each port may belong to only one link.
+    latency:
+        Base one-way delivery delay in seconds; must be > 0 (conservative
+        parallel simulation requires non-zero lookahead).
+    name:
+        Optional label for tracing.
+    """
+
+    def __init__(self, a: Port, b: Port, latency: float, name: str = "") -> None:
+        if latency <= 0.0:
+            raise ValueError(f"link latency must be > 0, got {latency!r}")
+        if a.link is not None or b.link is not None:
+            raise ValueError("port already connected to a link")
+        if a.component.engine is None or b.component.engine is None:
+            raise ValueError("both components must be registered before linking")
+        if a.component.engine is not b.component.engine:
+            raise ValueError("cannot link components from different engines")
+        self.a = a
+        self.b = b
+        self.latency = float(latency)
+        self.name = name or f"{a.component.name}.{a.name}<->{b.component.name}.{b.name}"
+        a.link = self
+        b.link = self
+        a.component.engine._register_link(self)
+
+    def other(self, port: Port) -> Port:
+        """The opposite endpoint of *port*."""
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError(f"{port!r} is not an endpoint of {self.name}")
+
+    def deliver(self, from_port: Port, payload: Any, extra_delay: float = 0.0) -> Event:
+        """Schedule delivery of *payload* from *from_port* to its peer."""
+        if extra_delay < 0:
+            raise ValueError(f"negative extra_delay {extra_delay!r}")
+        dst_port = self.other(from_port)
+        dst_comp = dst_port.component
+        engine = from_port.component.engine
+        assert engine is not None
+
+        def _arrive(ev: Event, _dst=dst_comp, _port=dst_port.name) -> None:
+            _dst.handle_event(_port, ev.payload, ev.time)
+
+        ev = Event(
+            time=engine.now + self.latency + extra_delay,
+            handler=_arrive,
+            payload=payload,
+            priority=PRIORITY_NORMAL,
+            src=from_port.component.name,
+            dst=dst_comp.name,
+        )
+        return engine.schedule_event(ev)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, latency={self.latency})"
+
+
+def connect(
+    comp_a, port_a: str, comp_b, port_b: str, latency: float, name: str = ""
+) -> Link:
+    """Convenience wrapper: ``Link(comp_a.port(port_a), comp_b.port(port_b))``."""
+    return Link(comp_a.port(port_a), comp_b.port(port_b), latency, name=name)

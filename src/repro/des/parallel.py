@@ -1,0 +1,193 @@
+"""Conservative parallel discrete-event engine (YAWNS-style windows).
+
+SST executes its component graph across MPI ranks using conservative
+synchronisation: because every cross-rank interaction crosses a link with
+non-zero latency, each rank may safely process all events in the window
+``[t, t + lookahead)`` without hearing from its peers, where ``lookahead``
+is the minimum cross-rank link latency.  At each window boundary the ranks
+exchange the remote events they generated.
+
+This class reproduces that algorithm with in-process partitions.  Each
+partition owns a private event queue; windows are computed from the global
+minimum next-event time; partitions are processed one after another inside
+a window (which is legitimate precisely because the conservative invariant
+guarantees they cannot affect each other within the window).  The result
+is, by construction, identical to the sequential engine's — a property the
+test suite checks event-trace-for-event-trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Optional
+
+from repro.des.engine import Engine, SimulationError
+from repro.des.event import Event, EventQueue
+
+
+class ParallelEngine(Engine):
+    """Partitioned conservative engine.
+
+    Parameters
+    ----------
+    nparts:
+        Number of partitions ("virtual ranks").
+    partitioner:
+        Optional callable ``(names, nparts, edges) -> {name: part}``.  By
+        default a contiguous block partition over sorted names is used.
+        A precomputed mapping may also be supplied via *assignment*.
+    assignment:
+        Optional explicit ``{component name: partition}`` mapping; wins
+        over *partitioner*.
+    """
+
+    def __init__(
+        self,
+        nparts: int = 2,
+        seed: int = 0,
+        trace: bool = False,
+        partitioner: Optional[Callable] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(seed=seed, trace=trace)
+        if nparts < 1:
+            raise SimulationError(f"nparts must be >= 1, got {nparts}")
+        self.nparts = nparts
+        self._partitioner = partitioner
+        self._assignment: Optional[dict[str, int]] = (
+            dict(assignment) if assignment is not None else None
+        )
+        self._queues: list[EventQueue] = []
+        self.lookahead: float = float("inf")
+        self.windows_executed = 0
+        self._active_part: Optional[int] = None
+        self._window_end: float = float("inf")
+
+    # -- event routing -------------------------------------------------------
+
+    def _part_of(self, name: Optional[str]) -> int:
+        if name is None or self._assignment is None:
+            return 0
+        return self._assignment.get(name, 0)
+
+    def schedule_event(self, event: Event) -> Event:
+        if event.time < self.now:
+            raise SimulationError(
+                f"event scheduled in the past: {event.time} < now={self.now}"
+            )
+        if not self._queues:
+            # Not yet running: stage through the base queue; run() will
+            # distribute staged events to partition queues.
+            return self.queue.push(event)
+        target = self._part_of(event.dst)
+        if (
+            self._active_part is not None
+            and target != self._active_part
+            and event.time < self._window_end
+        ):
+            # A conservative engine must never receive an event inside the
+            # current safe window from another partition.
+            raise SimulationError(
+                "conservative violation: cross-partition event at "
+                f"t={event.time} inside window ending {self._window_end} "
+                f"({event.src} -> {event.dst}); link latency below lookahead?"
+            )
+        if event.seq < 0:
+            event.seq = next(self.queue._counter)
+        return self._queues[target].push(event)
+
+    # -- lookahead -----------------------------------------------------------
+
+    def _compute_lookahead(self) -> float:
+        assert self._assignment is not None
+        la = float("inf")
+        for link in self.links:
+            pa = self._part_of(link.a.component.name)
+            pb = self._part_of(link.b.component.name)
+            if pa != pb:
+                la = min(la, link.latency)
+        return la
+
+    def _edge_triples(self) -> list[tuple[str, str, float]]:
+        return [
+            (ln.a.component.name, ln.b.component.name, ln.latency)
+            for ln in self.links
+        ]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            if self._assignment is None:
+                names = list(self.components)
+                if self._partitioner is not None:
+                    self._assignment = dict(
+                        self._partitioner(names, self.nparts, self._edge_triples())
+                    )
+                else:
+                    from repro.des.partition import partition_components
+
+                    self._assignment = partition_components(
+                        names, self.nparts, method="block"
+                    )
+            self.lookahead = self._compute_lookahead()
+            if not self._queues:
+                self._queues = [EventQueue() for _ in range(self.nparts)]
+                for comp in self.components.values():
+                    comp.setup()
+                self._setup_done = True
+                # Distribute events staged before run() started.
+                while self.queue:
+                    ev = self.queue.pop()
+                    self._queues[self._part_of(ev.dst)].push(ev)
+
+            end = float("inf") if until is None else float(until)
+            fired_this_run = 0
+            while True:
+                t_min = min(q.peek_time() for q in self._queues)
+                if t_min == float("inf") or t_min > end:
+                    break
+                # nextafter(end) lets events scheduled exactly at the end
+                # horizon fire, matching the sequential engine's `t > end`
+                # stop rule.
+                window_end = min(t_min + self.lookahead, math.nextafter(end, math.inf))
+                self._window_end = window_end
+                self.windows_executed += 1
+                for part, q in enumerate(self._queues):
+                    self._active_part = part
+                    while True:
+                        t = q.peek_time()
+                        if t == float("inf") or t >= window_end or t > end:
+                            break
+                        ev = q.pop()
+                        self.now = ev.time
+                        self.events_fired += 1
+                        fired_this_run += 1
+                        if max_events is not None and fired_this_run > max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}"
+                            )
+                        if self.trace:
+                            self.trace_log.append(
+                                (ev.time, ev.priority, ev.seq, ev.src, ev.dst)
+                            )
+                        if ev.handler is not None:
+                            ev.handler(ev)
+                self._active_part = None
+                # Global clock advances to the end of the processed window.
+                if window_end != float("inf"):
+                    self.now = max(self.now, min(window_end, end))
+            if until is not None and end != float("inf"):
+                self.now = max(self.now, end)
+            empty = all(not q for q in self._queues)
+            if not self._finished and empty:
+                for comp in self.components.values():
+                    comp.finish()
+                self._finished = True
+            return self.now
+        finally:
+            self._running = False
+            self._active_part = None

@@ -1,0 +1,90 @@
+"""Engine statistics and event tracing utilities.
+
+SST ships statistics collection alongside its components; this module
+provides the equivalents our experiments and debugging need:
+
+* :class:`EventCounter` — per-component / per-kind event counts collected
+  from an engine's trace log,
+* :class:`UtilizationTracker` — busy-time accounting components can feed
+  to report occupancy,
+* :func:`event_rate` — events/second of wall clock, the engine's
+  throughput metric used in ABL4.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Optional
+
+from repro.des.engine import Engine
+
+
+class EventCounter:
+    """Aggregates an engine's trace log into per-endpoint counts.
+
+    The engine must have been constructed with ``trace=True``.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        if not engine.trace:
+            raise ValueError("engine was not constructed with trace=True")
+        self.engine = engine
+
+    def by_source(self) -> Counter:
+        return Counter(src for _, _, _, src, _ in self.engine.trace_log)
+
+    def by_destination(self) -> Counter:
+        return Counter(dst for _, _, _, _, dst in self.engine.trace_log)
+
+    def by_pair(self) -> Counter:
+        return Counter(
+            (src, dst) for _, _, _, src, dst in self.engine.trace_log
+        )
+
+    def total(self) -> int:
+        return len(self.engine.trace_log)
+
+    def busiest(self, n: int = 5) -> list[tuple[Optional[str], int]]:
+        """The *n* components receiving the most events."""
+        return self.by_destination().most_common(n)
+
+
+class UtilizationTracker:
+    """Busy-time accounting for simulated components.
+
+    Components call :meth:`add_busy` when they finish a unit of work;
+    :meth:`utilization` reports busy time over the horizon.
+    """
+
+    def __init__(self) -> None:
+        self._busy: dict[str, float] = {}
+
+    def add_busy(self, component: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        self._busy[component] = self._busy.get(component, 0.0) + duration
+
+    def busy_time(self, component: str) -> float:
+        return self._busy.get(component, 0.0)
+
+    def utilization(self, component: str, horizon: float) -> float:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        return min(self.busy_time(component) / horizon, 1.0)
+
+    def report(self, horizon: float) -> dict[str, float]:
+        return {
+            name: self.utilization(name, horizon) for name in sorted(self._busy)
+        }
+
+
+def event_rate(engine: Engine, run_callable) -> tuple[float, float]:
+    """Execute *run_callable* (e.g. ``lambda: engine.run()``) and return
+    ``(wall seconds, events per second)``."""
+    before = engine.events_fired
+    t0 = time.perf_counter()
+    run_callable()
+    wall = time.perf_counter() - t0
+    fired = engine.events_fired - before
+    return wall, (fired / wall if wall > 0 else float("inf"))

@@ -1,0 +1,171 @@
+"""Shared case-study context (Section IV experimental setup).
+
+Table II parameters: epr in {5,10,15,20,25}, ranks in {8,64,216,512,1000}
+(perfect cubes divisible by group_size*node_size = 8), FTI group size 4,
+node size 2; 200-timestep runs with a 40-timestep checkpoint period.
+
+:func:`get_context` performs the Model Development phase once per
+(seed, options) and caches it process-wide, since every figure and table
+driver starts from the same fitted models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.beo import ArchBEO
+from repro.core.ft import NO_FT, FTScenario, scenario_l1, scenario_l1_l2
+from repro.core.montecarlo import Distribution, MonteCarloResult, MonteCarloRunner
+from repro.core.simulator import BESSTSimulator, SimulationResult
+from repro.core.workflow import ModelDevelopment, ModelDevelopmentResult, build_archbeo
+from repro.apps.lulesh import lulesh_appbeo
+from repro.models.symreg import GPConfig
+from repro.testbed.machine import MeasuredRun, VirtualMachine, measure_application_run
+from repro.testbed.quartz import make_quartz
+
+#: Table II
+CASE_EPRS: tuple[int, ...] = (5, 10, 15, 20, 25)
+CASE_RANKS: tuple[int, ...] = (8, 64, 216, 512, 1000)
+CASE_TIMESTEPS = 200
+CKPT_PERIOD = 40
+
+#: instrumented kernels of the case study
+CASE_KERNELS = ("lulesh_timestep", "fti_l1", "fti_l2")
+
+
+def case_scenarios(period: int = CKPT_PERIOD) -> list[FTScenario]:
+    """The three fault-tolerance scenarios of Figs. 7-9."""
+    return [NO_FT, scenario_l1(period), scenario_l1_l2(period)]
+
+
+@dataclass
+class CaseStudyContext:
+    """Everything the case-study experiments share."""
+
+    machine: VirtualMachine
+    dev: ModelDevelopmentResult
+    archbeo: ArchBEO
+    seed: int
+    _sim_cache: dict = field(default_factory=dict, repr=False)
+    _measure_cache: dict = field(default_factory=dict, repr=False)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def simulate(
+        self,
+        epr: int,
+        ranks: int,
+        scenario: FTScenario,
+        timesteps: int = CASE_TIMESTEPS,
+        reps: int = 5,
+        record_timelines: str = "rank0",
+    ) -> MonteCarloResult:
+        """Monte-Carlo BE-SST simulation of one design point (cached)."""
+        key = (epr, ranks, scenario.name, timesteps, reps, record_timelines)
+        hit = self._sim_cache.get(key)
+        if hit is not None:
+            return hit
+        app = lulesh_appbeo(timesteps=timesteps, scenario=scenario)
+
+        def factory(seed: int) -> BESSTSimulator:
+            return BESSTSimulator(
+                app,
+                self.archbeo,
+                nranks=ranks,
+                params={"epr": epr},
+                seed=seed,
+                record_timelines=record_timelines,
+            )
+
+        result = MonteCarloRunner(reps=reps, base_seed=self.seed + 1000).run(factory)
+        self._sim_cache[key] = result
+        return result
+
+    # -- measurement (ground truth) ---------------------------------------------------
+
+    def measure_run(
+        self,
+        epr: int,
+        ranks: int,
+        scenario: FTScenario,
+        timesteps: int = CASE_TIMESTEPS,
+        rep: int = 0,
+    ) -> MeasuredRun:
+        """One measured full run on the virtual Quartz (cached)."""
+        key = (epr, ranks, scenario.name, timesteps, rep)
+        hit = self._measure_cache.get(key)
+        if hit is None:
+            hit = measure_application_run(
+                self.machine,
+                ranks,
+                timesteps,
+                scenario,
+                {"epr": epr},
+                seed=self.seed + 5000 + rep,
+            )
+            self._measure_cache[key] = hit
+        return hit
+
+    def measure_mean_total(
+        self,
+        epr: int,
+        ranks: int,
+        scenario: FTScenario,
+        timesteps: int = CASE_TIMESTEPS,
+        reps: int = 3,
+    ) -> float:
+        """Mean measured total over *reps* runs."""
+        return float(
+            np.mean(
+                [
+                    self.measure_run(epr, ranks, scenario, timesteps, rep=i).total_time
+                    for i in range(reps)
+                ]
+            )
+        )
+
+    def measure_kernel_mean(
+        self, kernel: str, params: Mapping[str, float], nsamples: int = 5
+    ) -> float:
+        """Fresh measured mean of one kernel (validation-side samples,
+        independent of the calibration campaign)."""
+        samples = self.machine.measure(
+            kernel, params, nsamples=nsamples, seed=self.seed + 9000
+        )
+        return float(np.mean(samples))
+
+
+_CONTEXTS: dict = {}
+
+
+def get_context(
+    seed: int = 0,
+    samples_per_point: int = 10,
+    gp_config: Optional[GPConfig] = None,
+    allocation_nodes: int = 500,
+) -> CaseStudyContext:
+    """Build (or fetch the cached) case-study context.
+
+    Runs the benchmark campaign over the Table II grid on the virtual
+    Quartz and fits the three kernel models with symbolic regression —
+    the Model Development phase that everything else consumes.
+    """
+    key = (seed, samples_per_point, id(gp_config) if gp_config else None, allocation_nodes)
+    ctx = _CONTEXTS.get(key)
+    if ctx is not None:
+        return ctx
+    machine = make_quartz(allocation_nodes=allocation_nodes)
+    dev = ModelDevelopment(
+        machine,
+        CASE_KERNELS,
+        samples_per_point=samples_per_point,
+        gp_config=gp_config,
+        seed=seed,
+    ).run()
+    archbeo = build_archbeo(machine, dev.models())
+    ctx = CaseStudyContext(machine=machine, dev=dev, archbeo=archbeo, seed=seed)
+    _CONTEXTS[key] = ctx
+    return ctx

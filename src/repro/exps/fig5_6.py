@@ -1,0 +1,130 @@
+"""Figs. 5-6: instance-model scaling validation and prediction.
+
+For each instrumented kernel (LULESH timestep, L1 checkpoint, L2
+checkpoint) compare the fitted model's prediction against fresh testbed
+measurements over the Table II grid (the *validation* region left of the
+dashed line), then extend the curves into the *prediction* region:
+epr = 30 (a notional node with more memory, Fig. 5) and ranks = 1331
+(beyond the 1000-rank allocation, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exps.casestudy import (
+    CASE_EPRS,
+    CASE_KERNELS,
+    CASE_RANKS,
+    CaseStudyContext,
+    get_context,
+)
+
+#: prediction-region extensions (beyond what the testbed can measure)
+PREDICT_EPR = 30
+PREDICT_RANKS = 1331
+
+
+@dataclass
+class ScalingRow:
+    """One point of a Fig. 5/6 curve."""
+
+    kernel: str
+    epr: int
+    ranks: int
+    predicted: float
+    measured: Optional[float]  #: None in the prediction region
+
+    @property
+    def is_prediction(self) -> bool:
+        return self.measured is None
+
+
+def instance_scaling(
+    ctx: Optional[CaseStudyContext] = None,
+    validation_samples: int = 5,
+) -> list[ScalingRow]:
+    """All rows of Figs. 5-6 (both figures show the same data)."""
+    ctx = ctx or get_context()
+    rows: list[ScalingRow] = []
+    for kernel in CASE_KERNELS:
+        model = ctx.dev.fitted[kernel].model
+        # validation region
+        for epr in CASE_EPRS:
+            for ranks in CASE_RANKS:
+                params = {"epr": epr, "ranks": ranks}
+                rows.append(
+                    ScalingRow(
+                        kernel=kernel,
+                        epr=epr,
+                        ranks=ranks,
+                        predicted=model.predict(params),
+                        measured=ctx.measure_kernel_mean(
+                            kernel, params, nsamples=validation_samples
+                        ),
+                    )
+                )
+        # prediction region: larger problem size (Fig. 5 right of line)
+        for ranks in CASE_RANKS:
+            params = {"epr": PREDICT_EPR, "ranks": ranks}
+            rows.append(
+                ScalingRow(kernel, PREDICT_EPR, ranks, model.predict(params), None)
+            )
+        # prediction region: more ranks than the allocation (Fig. 6)
+        for epr in CASE_EPRS:
+            params = {"epr": epr, "ranks": PREDICT_RANKS}
+            rows.append(
+                ScalingRow(kernel, epr, PREDICT_RANKS, model.predict(params), None)
+            )
+    return rows
+
+
+def _series(rows, kernel, by):
+    out = {}
+    for r in rows:
+        if r.kernel != kernel:
+            continue
+        out.setdefault(getattr(r, by), []).append(r)
+    return out
+
+
+def format_fig5(rows: list[ScalingRow]) -> str:
+    """Fig. 5 view: runtime vs problem size (epr), series per kernel,
+    averaged over the measurable rank grid (the ranks=1331 prediction rows
+    belong to Fig. 6's axis and are excluded here)."""
+    rows = [r for r in rows if r.ranks != PREDICT_RANKS]
+    lines = ["Fig. 5 — runtime vs problem size (mean over ranks; * = prediction)"]
+    eprs = sorted({r.epr for r in rows})
+    header = "kernel               " + "".join(f"{e:>12d}" for e in eprs)
+    lines.append(header)
+    for kernel in CASE_KERNELS:
+        by_epr = _series(rows, kernel, "epr")
+        cells = []
+        for e in eprs:
+            pts = by_epr.get(e, [])
+            pred = sum(p.predicted for p in pts) / len(pts)
+            star = "*" if all(p.is_prediction for p in pts) else " "
+            cells.append(f"{pred * 1e3:10.2f}ms{star}")
+        lines.append(f"{kernel:<20s} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_fig6(rows: list[ScalingRow]) -> str:
+    """Fig. 6 view: runtime vs ranks, series per kernel, averaged over the
+    measurable problem sizes (the epr=30 prediction rows belong to
+    Fig. 5's axis and are excluded here)."""
+    rows = [r for r in rows if r.epr != PREDICT_EPR]
+    lines = ["Fig. 6 — runtime vs ranks (mean over epr; * = prediction)"]
+    ranks = sorted({r.ranks for r in rows})
+    lines.append("kernel               " + "".join(f"{k:>12d}" for k in ranks))
+    for kernel in CASE_KERNELS:
+        by_ranks = _series(rows, kernel, "ranks")
+        cells = []
+        for k in ranks:
+            pts = by_ranks.get(k, [])
+            pred = sum(p.predicted for p in pts) / len(pts)
+            star = "*" if all(p.is_prediction for p in pts) else " "
+            cells.append(f"{pred * 1e3:10.2f}ms{star}")
+        lines.append(f"{kernel:<20s} " + "".join(cells))
+    return "\n".join(lines)

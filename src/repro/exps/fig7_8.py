@@ -1,0 +1,107 @@
+"""Figs. 7-8: full-application runtime prediction (64 and 1000 ranks).
+
+Total LULESH+FTI runtime over 200 timesteps under the three FT scenarios,
+simulated (BE-SST Monte-Carlo) against measured (virtual-Quartz runs),
+with the checkpoint instants marked (the figures' black dots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ft import FTScenario
+from repro.exps.casestudy import (
+    CASE_TIMESTEPS,
+    CaseStudyContext,
+    case_scenarios,
+    get_context,
+)
+
+#: the figures use the mid-grid problem size
+FIG78_EPR = 10
+
+
+@dataclass
+class FullRunCurve:
+    """One scenario's measured-vs-simulated runtime curve."""
+
+    scenario: str
+    ranks: int
+    epr: int
+    measured_total: float
+    simulated_total_mean: float
+    simulated_total_std: float
+    measured_curve: np.ndarray          #: cumulative time after each timestep
+    simulated_curve: np.ndarray         #: same, from the rank-0 sim timeline
+    checkpoint_marks: list[tuple[float, int]]
+
+    @property
+    def percent_error(self) -> float:
+        return (
+            100.0
+            * abs(self.simulated_total_mean - self.measured_total)
+            / self.measured_total
+        )
+
+
+def _sim_cumulative_curve(result, timesteps: int) -> np.ndarray:
+    """Cumulative job time at the end of each timestep from the rank-0
+    timeline (a timestep ends when its dt-allreduce completes)."""
+    tl = result.timelines.get(0)
+    if tl is None:
+        return np.array([])
+    ends = [e.t_end for e in tl.entries if e.kind == "collective" and e.label == "allreduce"]
+    return np.asarray(ends[:timesteps])
+
+
+def full_system_curves(
+    ranks: int,
+    epr: int = FIG78_EPR,
+    ctx: Optional[CaseStudyContext] = None,
+    timesteps: int = CASE_TIMESTEPS,
+    reps: int = 5,
+) -> list[FullRunCurve]:
+    """Figs. 7 (ranks=64) / 8 (ranks=1000): one curve per FT scenario."""
+    ctx = ctx or get_context()
+    out = []
+    for scenario in case_scenarios():
+        mc = ctx.simulate(epr, ranks, scenario, timesteps=timesteps, reps=reps)
+        meas = ctx.measure_run(epr, ranks, scenario, timesteps=timesteps)
+        sim0 = mc.results[0]
+        out.append(
+            FullRunCurve(
+                scenario=scenario.name,
+                ranks=ranks,
+                epr=epr,
+                measured_total=meas.total_time,
+                simulated_total_mean=mc.total_time.mean,
+                simulated_total_std=mc.total_time.std,
+                measured_curve=meas.cumulative_times(),
+                simulated_curve=_sim_cumulative_curve(sim0, timesteps),
+                checkpoint_marks=sim0.checkpoint_marks(),
+            )
+        )
+    return out
+
+
+def format_fig7_8(curves: list[FullRunCurve]) -> str:
+    """Summary table for one figure's curves."""
+    if not curves:
+        return "(no curves)"
+    ranks = curves[0].ranks
+    lines = [
+        f"Fig. {'7' if ranks == 64 else '8'} — full application runtime, "
+        f"{ranks} ranks, epr={curves[0].epr}, {len(curves[0].measured_curve)} timesteps",
+        f"{'scenario':<10s}{'measured':>12s}{'simulated':>12s}{'+/-':>8s}"
+        f"{'err %':>8s}{'ckpts':>7s}",
+    ]
+    for c in curves:
+        lines.append(
+            f"{c.scenario:<10s}{c.measured_total:>11.3f}s"
+            f"{c.simulated_total_mean:>11.3f}s{c.simulated_total_std:>7.3f}s"
+            f"{c.percent_error:>7.1f}%{len(c.checkpoint_marks):>7d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Fig. 9: overhead prediction for full-system simulation.
+
+Two tables (64 and 1000 ranks), rows = FT scenarios, columns = problem
+size.  Each cell is the predicted total runtime as a percentage of the
+same-epr, 64-rank, no-FT prediction (which is why the paper's "No FT /
+64 ranks" row hovers around 100%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.dse import overhead_matrix, sweep
+from repro.exps.casestudy import (
+    CASE_TIMESTEPS,
+    CaseStudyContext,
+    case_scenarios,
+    get_context,
+)
+
+#: Fig. 9 axes
+FIG9_EPRS = (10, 15, 20, 25)
+FIG9_RANKS = (64, 1000)
+
+#: the paper's Fig. 9 cells, keyed (epr, ranks, scenario)
+PAPER_FIG9 = {
+    (10, 64, "no_ft"): 100, (15, 64, "no_ft"): 109, (20, 64, "no_ft"): 103, (25, 64, "no_ft"): 108,
+    (10, 64, "l1"): 109, (15, 64, "l1"): 140, (20, 64, "l1"): 135, (25, 64, "l1"): 135,
+    (10, 64, "l1+l2"): 183, (15, 64, "l1+l2"): 247, (20, 64, "l1+l2"): 220, (25, 64, "l1+l2"): 294,
+    (10, 1000, "no_ft"): 119, (15, 1000, "no_ft"): 127, (20, 1000, "no_ft"): 151, (25, 1000, "no_ft"): 170,
+    (10, 1000, "l1"): 215, (15, 1000, "l1"): 278, (20, 1000, "l1"): 324, (25, 1000, "l1"): 428,
+    (10, 1000, "l1+l2"): 550, (15, 1000, "l1+l2"): 810, (20, 1000, "l1+l2"): 1185, (25, 1000, "l1+l2"): 1374,
+}
+
+
+def overhead_prediction(
+    ctx: Optional[CaseStudyContext] = None,
+    eprs: Sequence[int] = FIG9_EPRS,
+    ranks: Sequence[int] = FIG9_RANKS,
+    timesteps: int = CASE_TIMESTEPS,
+    reps: int = 3,
+) -> dict[tuple, float]:
+    """Percent-overhead cells, normalised per problem size.
+
+    Returns ``{(epr, ranks, scenario_name): percent}``.
+    """
+    ctx = ctx or get_context()
+    scenarios = case_scenarios()
+
+    times = sweep(
+        lambda point: ctx.simulate(
+            point.epr, point.ranks, point.scenario, timesteps=timesteps, reps=reps
+        ).total_time.mean,
+        eprs,
+        ranks,
+        scenarios,
+    )
+    # Normalise each epr column by its own (64 ranks, no FT) prediction,
+    # matching the paper's presentation.
+    out: dict[tuple, float] = {}
+    for e in eprs:
+        base_key = (e, 64, "no_ft")
+        column = {k: v for k, v in times.items() if k[0] == e}
+        out.update(overhead_matrix(column, baseline_key=base_key))
+    return out
+
+
+def format_fig9(
+    pct: dict[tuple, float],
+    eprs: Sequence[int] = FIG9_EPRS,
+    ranks: Sequence[int] = FIG9_RANKS,
+    show_paper: bool = True,
+) -> str:
+    """Fig. 9's two tables, optionally with the paper's cells alongside."""
+    lines = ["Fig. 9 — overhead prediction (reproduced% [paper%])"]
+    for r in ranks:
+        lines.append(f"\n{r} Ranks      " + "".join(f"{e:>16d}" for e in eprs))
+        for s in ("no_ft", "l1", "l1+l2"):
+            cells = []
+            for e in eprs:
+                v = pct.get((e, r, s))
+                p = PAPER_FIG9.get((e, r, s)) if show_paper else None
+                if v is None:
+                    cells.append(f"{'n/a':>16s}")
+                elif p is not None:
+                    cells.append(f"{v:>8.0f}% [{p:>4d}%]")
+                else:
+                    cells.append(f"{v:>15.0f}%")
+            lines.append(f"  {s:<10s}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Full experiment report: regenerate every artifact into one markdown file.
+
+``python -m repro.exps.report [--out EXPERIMENTS.md] [--reps N]`` runs the
+entire evaluation — every paper table and figure plus the extension and
+ablation experiments — and writes a paper-vs-measured markdown report.
+The repository's EXPERIMENTS.md is this module's output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+#: (section id, title, notes) in report order
+_SECTIONS = [
+    (
+        "fig1",
+        "Fig. 1 — CMT-bone on Vulcan: benchmark-vs-simulation DSE",
+        "Validation points are Monte-Carlo distributions vs measured "
+        "one-timestep job runs; prediction extends past the allocation "
+        "to 1M ranks via the validated models plus topology-scaled "
+        "communication.",
+    ),
+    (
+        "table3",
+        "Table III — instance-model validation (MAPE)",
+        "Paper: timestep 6.64%, L1 16.68%, L2 14.50%. Expect the same "
+        "ordering (compute kernel far more predictable than the "
+        "storage/communication-bound checkpoint kernels) and band.",
+    ),
+    (
+        "fig5",
+        "Fig. 5 — model scaling vs problem size (epr)",
+        "Checkpoint curves above the timestep curve, all growing with "
+        "epr; the epr=30 column is pure prediction (notional node with "
+        "more memory).",
+    ),
+    (
+        "fig6",
+        "Fig. 6 — model scaling vs number of ranks",
+        "Checkpoint kernels scale much faster with ranks than the "
+        "weak-scaling timestep; 1331 ranks is pure prediction beyond the "
+        "1000-rank allocation.",
+    ),
+    (
+        "fig7",
+        "Fig. 7 — full application runtime, 64 ranks",
+        "200 timesteps, checkpoint period 40; the three FT scenarios of "
+        "the case study with checkpoint instants marked.",
+    ),
+    (
+        "fig8",
+        "Fig. 8 — full application runtime, 1000 ranks",
+        "Same, at the allocation limit. The paper reports growing "
+        "divergence at this corner (its Figs. 6D/8); ours diverges "
+        "there too.",
+    ),
+    (
+        "table4",
+        "Table IV — full-system simulation validation (MAPE)",
+        "Paper: no-FT 20.13%, L1 17.64%, L1&L2 14.54%, over full-run "
+        "totals.",
+    ),
+    (
+        "fig9",
+        "Fig. 9 — overhead prediction matrix",
+        "Percent of the same-epr 64-rank no-FT prediction. Expected "
+        "shape: grows with FT level, ranks, and problem size; the "
+        "L1+L2 @ 1000 ranks @ epr 25 cell is the extreme corner.",
+    ),
+    (
+        "fig4",
+        "Fig. 4 — fault-assumption Cases 1-4",
+        "Cases 2 and 4 (fault injection without/with FT) are the "
+        "paper's future work, implemented here. Failure rates are "
+        "accelerated so a ~1 s job sees faults.",
+    ),
+    (
+        "ext1",
+        "EXT1 — all four FTI levels in full-system simulation",
+        "The case study stopped at L1/L2; with communication and "
+        "RS-encode kernels modeled, the whole of Table I simulates.",
+    ),
+    (
+        "ext2",
+        "EXT2 — checkpoint-level selection vs system MTBF",
+        "Analytic expected-waste ranking using the fitted per-level "
+        "costs; the optimum migrates to higher levels as reliability "
+        "degrades.",
+    ),
+    (
+        "ext3",
+        "EXT3 — architectural DSE: fat tree vs notional dragonfly",
+        "Plug-and-play interconnect swap under identical applications "
+        "and FT scenarios.",
+    ),
+    (
+        "ext4",
+        "EXT4 — hardware DSE: NVRAM checkpoint storage",
+        "The validated L1/L2 models scaled 4x faster, standing in for a "
+        "storage upgrade; no-FT runtime unchanged, checkpoint overhead "
+        "collapses.",
+    ),
+    (
+        "ext5",
+        "EXT5 — simulated checkpoint-level DSE under mixed faults",
+        "Fault injection with a software/node-loss mix and level-aware "
+        "recovery: L1 checkpoints cannot recover node losses, so an "
+        "L1-only run restarts from scratch on them.  At this job length "
+        "L1's cheap checkpoints still win on total time, but its wasted "
+        "work is by far the worst — the asymmetry that pushes the "
+        "optimum to higher levels as jobs lengthen and scale grows "
+        "(exactly what EXT2's analytic sweep shows).",
+    ),
+    (
+        "ext6",
+        "EXT6 — ABFT vs checkpoint-restart under silent data corruption",
+        "The paper's other named FT technique: checksum ABFT catches the "
+        "SDC that C/R is blind to, at an arithmetic overhead shrinking "
+        "with problem size (a real Huang-Abraham codec backs the "
+        "numbers).",
+    ),
+    (
+        "ext7",
+        "EXT7 — modeling granularity: coarse vs fine kernels",
+        "BE-SST's speed/accuracy knob: one timestep model vs force+EOS "
+        "subkernel models of the same application.",
+    ),
+    (
+        "abl1",
+        "ABL1 — modeling method: interpolation vs symbolic regression",
+        "Both of the paper's Model-Development methods on identical "
+        "calibration data.",
+    ),
+    (
+        "abl2",
+        "ABL2 — checkpoint period vs Young/Daly",
+        "Fault-injected sweep of the period; the simulated optimum "
+        "should bracket Daly's analytic interval.",
+    ),
+    (
+        "abl3",
+        "ABL3 — analytical reliability-aware speedup baselines",
+        "The related work's abstract models (Amdahl/Gustafson under "
+        "faults, replication), for contrast with BE-SST's concrete "
+        "predictions.",
+    ),
+    (
+        "abl4",
+        "ABL4 — sequential vs conservative-parallel DES engine",
+        "The SST-substitute's YAWNS-style engine is observationally "
+        "identical to the sequential engine.",
+    ),
+]
+
+
+def _runner(section: str, seed: int, reps: int) -> Callable[[], str]:
+    from repro.cli import _run_experiment
+
+    return lambda: _run_experiment(section, seed, reps)
+
+
+def generate_report(
+    out_path: Optional[str] = None,
+    seed: int = 0,
+    reps: int = 3,
+    sections: Optional[list[str]] = None,
+    echo: bool = True,
+) -> str:
+    """Run every experiment and return (and optionally write) the report."""
+    chosen = sections or [s for s, _, _ in _SECTIONS]
+    parts = [
+        "# EXPERIMENTS — paper vs reproduction",
+        "",
+        "Generated by `python -m repro.exps.report` (virtual-testbed "
+        "measurements; see DESIGN.md for the substitution rationale). "
+        f"Settings: seed={seed}, Monte-Carlo reps={reps}.",
+        "",
+        "Absolute numbers are not expected to match the paper (the "
+        "substrate is a synthetic testbed, not LLNL Quartz); the *shape* "
+        "— orderings, scaling directions, error bands, crossovers — is "
+        "the reproduction target and is asserted by "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    for section, title, notes in _SECTIONS:
+        if section not in chosen:
+            continue
+        t0 = time.time()
+        if echo:
+            print(f"[report] running {section}...", file=sys.stderr)
+        try:
+            body = _runner(section, seed, reps)()
+        except Exception as exc:  # keep the report usable if one fails
+            body = f"(FAILED: {exc})"
+        elapsed = time.time() - t0
+        parts += [
+            f"## {title}",
+            "",
+            notes,
+            "",
+            "```",
+            body,
+            "```",
+            "",
+            f"_regenerated in {elapsed:.1f}s — `python -m repro {section}`_",
+            "",
+        ]
+    text = "\n".join(parts)
+    if out_path is not None:
+        Path(out_path).write_text(text)
+    return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--sections", nargs="*", default=None,
+        help="subset of section ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+    generate_report(args.out, args.seed, args.reps, args.sections)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

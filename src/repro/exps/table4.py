@@ -1,0 +1,77 @@
+"""Table IV: full-system simulation validation.
+
+Paper values (MAPE of simulated vs measured total runtime):
+
+* LULESH + no fault-tolerance:       20.13%
+* LULESH + Level 1 checkpointing:    17.64%
+* LULESH + Levels 1 & 2:             14.54%
+
+The reproduction computes each scenario's MAPE over a grid of
+(epr, ranks) full-run points: simulated Monte-Carlo mean total vs
+measured total on the virtual Quartz.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.validation import ValidationReport
+from repro.exps.casestudy import (
+    CASE_EPRS,
+    CASE_TIMESTEPS,
+    CaseStudyContext,
+    case_scenarios,
+    get_context,
+)
+
+PAPER_TABLE4 = {
+    "no_ft": 20.13,
+    "l1": 17.64,
+    "l1+l2": 14.54,
+}
+
+#: default validation points: the figure rank counts across all problem sizes
+TABLE4_RANKS = (64, 1000)
+
+
+def full_system_mape(
+    ctx: Optional[CaseStudyContext] = None,
+    eprs: Sequence[int] = CASE_EPRS,
+    ranks: Sequence[int] = TABLE4_RANKS,
+    timesteps: int = CASE_TIMESTEPS,
+    reps: int = 3,
+    measured_reps: int = 2,
+) -> dict[str, ValidationReport]:
+    """Per-scenario validation reports over the (epr, ranks) grid."""
+    ctx = ctx or get_context()
+    reports: dict[str, ValidationReport] = {}
+    for scenario in case_scenarios():
+        rep = ValidationReport(scenario.name)
+        for r in ranks:
+            for e in eprs:
+                mc = ctx.simulate(e, r, scenario, timesteps=timesteps, reps=reps)
+                measured = ctx.measure_mean_total(
+                    e, r, scenario, timesteps=timesteps, reps=measured_reps
+                )
+                rep.add({"epr": e, "ranks": r}, measured, mc.total_time.mean)
+        reports[scenario.name] = rep
+    return reports
+
+
+def format_table4(reports: dict[str, ValidationReport]) -> str:
+    lines = [
+        "Table IV — validation for full system simulation",
+        f"{'Fault-tolerance level':<36s}{'reproduced':>12s}{'paper':>10s}",
+    ]
+    label = {
+        "no_ft": "LULESH + No Fault-Tolerance",
+        "l1": "LULESH + Level 1 Checkpointing",
+        "l1+l2": "LULESH + Levels 1 & 2 Checkpointing",
+    }
+    for name, rep in reports.items():
+        paper = PAPER_TABLE4.get(name)
+        paper_s = f"{paper:.2f}%" if paper is not None else "n/a"
+        lines.append(
+            f"{label.get(name, name):<36s}{rep.mape:>11.2f}%{paper_s:>10s}"
+        )
+    return "\n".join(lines)

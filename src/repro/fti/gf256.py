@@ -1,0 +1,162 @@
+"""GF(2^8) arithmetic for Reed–Solomon erasure coding.
+
+Uses the standard Reed–Solomon polynomial ``x^8 + x^4 + x^3 + x^2 + 1``
+(0x11D), for which 2 is a primitive element, with exp/log tables for
+constant-time multiply/divide.  Vectorised helpers
+operate on NumPy ``uint8`` arrays so encoding whole checkpoint blocks is a
+table-lookup-and-XOR pipeline rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    exp[255:510] = exp[0:255]  # duplicate so exp[log a + log b] needs no mod
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of GF(256) field operations (all static)."""
+
+    #: field order
+    ORDER = 256
+    #: reduction polynomial
+    POLYNOMIAL = _POLY
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return (a ^ b) & 0xFF
+
+    # subtraction == addition in characteristic 2
+    sub = add
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        """Field division; raises ZeroDivisionError on b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("GF(256) division by zero")
+        if a == 0:
+            return 0
+        return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+    @staticmethod
+    def inv(a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError on 0."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(_EXP[(255 - int(_LOG[a])) % 255])
+
+    @staticmethod
+    def pow(a: int, n: int) -> int:
+        """``a**n`` in the field (n may be negative for nonzero a)."""
+        if a == 0:
+            if n < 0:
+                raise ZeroDivisionError("0 has no inverse in GF(256)")
+            return 0 if n != 0 else 1
+        return int(_EXP[(int(_LOG[a]) * n) % 255])
+
+    @staticmethod
+    def exp(n: int) -> int:
+        """Generator power: ``g**n`` for the generator g = 2."""
+        return int(_EXP[n % 255])
+
+    # -- vectorised block operations -------------------------------------------
+
+    @staticmethod
+    def mul_block(scalar: int, block: np.ndarray) -> np.ndarray:
+        """Multiply every byte of *block* by *scalar*."""
+        block = np.asarray(block, dtype=np.uint8)
+        if scalar == 0:
+            return np.zeros_like(block)
+        if scalar == 1:
+            return block.copy()
+        shift = int(_LOG[scalar])
+        out = np.zeros_like(block)
+        nz = block != 0
+        out[nz] = _EXP[_LOG[block[nz]] + shift]
+        return out
+
+    @staticmethod
+    def addmul_block(acc: np.ndarray, scalar: int, block: np.ndarray) -> None:
+        """In-place ``acc ^= scalar * block`` (the encoding inner loop)."""
+        if scalar == 0:
+            return
+        acc ^= GF256.mul_block(scalar, block)
+
+    # -- linear algebra -----------------------------------------------------------
+
+    @staticmethod
+    def mat_inv(m: np.ndarray) -> np.ndarray:
+        """Invert a square GF(256) matrix by Gauss–Jordan elimination.
+
+        Raises
+        ------
+        np.linalg.LinAlgError
+            If the matrix is singular.
+        """
+        m = np.array(m, dtype=np.uint8)
+        n = m.shape[0]
+        if m.shape != (n, n):
+            raise ValueError(f"matrix must be square, got {m.shape}")
+        aug = np.concatenate([m, np.eye(n, dtype=np.uint8)], axis=1)
+        for col in range(n):
+            pivot = None
+            for row in range(col, n):
+                if aug[row, col] != 0:
+                    pivot = row
+                    break
+            if pivot is None:
+                raise np.linalg.LinAlgError("singular GF(256) matrix")
+            if pivot != col:
+                aug[[col, pivot]] = aug[[pivot, col]]
+            inv_p = GF256.inv(int(aug[col, col]))
+            aug[col] = GF256.mul_block(inv_p, aug[col])
+            for row in range(n):
+                if row != col and aug[row, col] != 0:
+                    GF256.addmul_block(aug[row], int(aug[row, col]), aug[col])
+        return aug[:, n:]
+
+    @staticmethod
+    def mat_vec_blocks(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+        """Matrix × vector-of-blocks product.
+
+        ``matrix`` is (m, k) over GF(256); ``blocks`` is (k, L) bytes.
+        Returns (m, L): each output block is the GF-linear combination of
+        the input blocks given by a matrix row.
+        """
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        m, k = matrix.shape
+        if blocks.shape[0] != k:
+            raise ValueError(
+                f"matrix has {k} columns but {blocks.shape[0]} blocks given"
+            )
+        out = np.zeros((m, blocks.shape[1]), dtype=np.uint8)
+        for i in range(m):
+            for j in range(k):
+                GF256.addmul_block(out[i], int(matrix[i, j]), blocks[j])
+        return out

@@ -1,0 +1,150 @@
+"""Systematic Reed–Solomon erasure code over GF(256).
+
+Encodes ``k`` data shards into ``m`` parity shards using a Vandermonde
+generator; any ``k`` of the ``k + m`` shards reconstruct the data, i.e. up
+to ``m`` known erasures are tolerated.  This is the coding scheme FTI's
+level-3 checkpointing uses to protect a group's checkpoint files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fti.gf256 import GF256
+
+
+class RSDecodeError(RuntimeError):
+    """Raised when fewer than *k* shards survive."""
+
+
+class ReedSolomonCode:
+    """An (k + m, k) systematic erasure code.
+
+    Parameters
+    ----------
+    k:
+        Number of data shards.
+    m:
+        Number of parity shards (erasure tolerance).
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid code parameters k={k}, m={m}")
+        if k + m > GF256.ORDER - 1:
+            raise ValueError(f"k + m must be <= 255, got {k + m}")
+        self.k = k
+        self.m = m
+        # Parity rows of a systematic Vandermonde-derived generator:
+        # row i evaluates the data polynomial at point x_i = g^(k + i).
+        # Using distinct evaluation points for data (implicit identity via
+        # Lagrange basis) keeps every k x k submatrix invertible.
+        self._eval_points = [GF256.exp(i) for i in range(k + m)]
+
+    # -- internal: Lagrange-style generator ---------------------------------------
+
+    def _row_for_point(self, x: int) -> np.ndarray:
+        """Row mapping data shards -> value at evaluation point *x*.
+
+        Data shard *j* is defined as the codeword value at point
+        ``_eval_points[j]``; the polynomial interpolating those values is
+        evaluated at *x* via Lagrange basis coefficients.
+        """
+        pts = self._eval_points[: self.k]
+        row = np.zeros(self.k, dtype=np.uint8)
+        for j in range(self.k):
+            num, den = 1, 1
+            for l in range(self.k):
+                if l == j:
+                    continue
+                num = GF256.mul(num, GF256.add(x, pts[l]))
+                den = GF256.mul(den, GF256.add(pts[j], pts[l]))
+            row[j] = GF256.div(num, den)
+        return row
+
+    def generator_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Generator rows for the given shard indices (0..k+m-1)."""
+        rows = []
+        for idx in indices:
+            if not 0 <= idx < self.k + self.m:
+                raise IndexError(f"shard index {idx} out of range")
+            if idx < self.k:
+                row = np.zeros(self.k, dtype=np.uint8)
+                row[idx] = 1
+            else:
+                row = self._row_for_point(self._eval_points[idx])
+            rows.append(row)
+        return np.array(rows, dtype=np.uint8)
+
+    # -- public API ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalise(shards: Sequence[bytes]) -> tuple[np.ndarray, int]:
+        """Stack byte shards into a (k, L) array, padding to max length."""
+        lengths = [len(s) for s in shards]
+        L = max(lengths) if lengths else 0
+        arr = np.zeros((len(shards), L), dtype=np.uint8)
+        for i, s in enumerate(shards):
+            arr[i, : len(s)] = np.frombuffer(bytes(s), dtype=np.uint8)
+        return arr, L
+
+    def encode(self, data_shards: Sequence[bytes]) -> list[bytes]:
+        """Compute the *m* parity shards for *data_shards* (length k).
+
+        Shards may have unequal lengths; all are implicitly zero-padded to
+        the longest, and parity shards have that padded length.
+        """
+        if len(data_shards) != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {len(data_shards)}")
+        if self.m == 0:
+            return []
+        blocks, _ = self._normalise(data_shards)
+        parity_rows = self.generator_rows(range(self.k, self.k + self.m))
+        parity = GF256.mat_vec_blocks(parity_rows, blocks)
+        return [bytes(p) for p in parity]
+
+    def decode(
+        self,
+        shards: Sequence[Optional[bytes]],
+        lengths: Optional[Sequence[int]] = None,
+    ) -> list[bytes]:
+        """Reconstruct the k data shards.
+
+        Parameters
+        ----------
+        shards:
+            Length ``k + m`` list; ``None`` marks an erased shard.
+        lengths:
+            Original data-shard lengths (to strip padding); defaults to
+            the padded length.
+
+        Raises
+        ------
+        RSDecodeError
+            If fewer than k shards are present.
+        """
+        if len(shards) != self.k + self.m:
+            raise ValueError(
+                f"expected {self.k + self.m} shard slots, got {len(shards)}"
+            )
+        present = [i for i, s in enumerate(shards) if s is not None]
+        if len(present) < self.k:
+            raise RSDecodeError(
+                f"only {len(present)} of {self.k + self.m} shards present; "
+                f"need at least {self.k}"
+            )
+        use = present[: self.k]
+        blocks, L = self._normalise([shards[i] for i in use])
+        gen = self.generator_rows(use)
+        inv = GF256.mat_inv(gen)
+        data = GF256.mat_vec_blocks(inv, blocks)
+        out = []
+        for j in range(self.k):
+            n = lengths[j] if lengths is not None else L
+            out.append(bytes(data[j][:n]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReedSolomonCode(k={self.k}, m={self.m})"

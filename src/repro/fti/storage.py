@@ -1,0 +1,90 @@
+"""Checkpoint storage backends.
+
+Three stores with distinct failure semantics:
+
+* :class:`LocalStore` — per-node storage (node-local SSD/ramdisk); its
+  contents vanish when the node fails,
+* partner copies and RS shards also live in peers' :class:`LocalStore`
+  under distinct namespaces,
+* :class:`PFSStore` — the parallel file system; survives node failures.
+
+Stores hold real bytes so recovery tests round-trip actual data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StorageError(RuntimeError):
+    """Raised on invalid store operations."""
+
+
+class LocalStore:
+    """Key/value byte store private to one node."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._data: dict[str, bytes] = {}
+        self.failed = False
+        self.bytes_written = 0
+
+    def write(self, key: str, blob: bytes) -> None:
+        if self.failed:
+            raise StorageError(f"node {self.node} has failed; write rejected")
+        self._data[key] = bytes(blob)
+        self.bytes_written += len(blob)
+
+    def read(self, key: str) -> Optional[bytes]:
+        """The stored bytes, or None if missing / node failed."""
+        if self.failed:
+            return None
+        return self._data.get(key)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def fail(self) -> None:
+        """Simulate node loss: all local checkpoint data is gone."""
+        self.failed = True
+        self._data.clear()
+
+    def repair(self) -> None:
+        """Bring the (replacement) node back with empty storage."""
+        self.failed = False
+        self._data.clear()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(v) for v in self._data.values())
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+
+class PFSStore:
+    """The parallel file system: shared, survives node failures."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, bytes] = {}
+        self.bytes_written = 0
+
+    def write(self, key: str, blob: bytes) -> None:
+        self._data[key] = bytes(blob)
+        self.bytes_written += len(blob)
+
+    def read(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(v) for v in self._data.values())
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)

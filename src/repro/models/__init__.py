@@ -1,0 +1,57 @@
+"""Performance-model development (the BE-SST "Model Development" phase).
+
+This subpackage turns benchmarking samples into callable performance
+models, supporting both modeling methods described in the paper:
+
+* :class:`~repro.models.lut.LookupTableModel` — interpolation over a
+  sample look-up table, drawing from the calibration distribution at exact
+  parameter hits (the Monte-Carlo behaviour in Fig. 1's pop-out).
+* :class:`~repro.models.symreg.SymbolicRegressionModel` — genetic-
+  programming symbolic regression (Chenna et al.), the method used by the
+  paper's case study.
+
+:class:`~repro.models.dataset.BenchmarkDataset` is the common container
+for timing samples keyed by system parameters; :mod:`repro.models.metrics`
+holds the error metrics (MAPE, ...) used throughout validation.
+"""
+
+from repro.models.dataset import BenchmarkDataset
+from repro.models.base import (
+    PerformanceModel,
+    ConstantModel,
+    CallableModel,
+    ScaledModel,
+    ModelError,
+)
+from repro.models.registry import ModelRegistry
+from repro.models.lut import LookupTableModel
+from repro.models.metrics import mape, mae, rmse, r2_score, percent_error
+from repro.models.symreg import (
+    Expression,
+    SymbolicRegressionModel,
+    SymbolicRegressor,
+    parse_expression,
+)
+from repro.models.calibration import CalibrationPipeline, FittedKernelModel
+
+__all__ = [
+    "BenchmarkDataset",
+    "PerformanceModel",
+    "ConstantModel",
+    "CallableModel",
+    "ScaledModel",
+    "ModelRegistry",
+    "ModelError",
+    "LookupTableModel",
+    "mape",
+    "mae",
+    "rmse",
+    "r2_score",
+    "percent_error",
+    "Expression",
+    "SymbolicRegressionModel",
+    "SymbolicRegressor",
+    "parse_expression",
+    "CalibrationPipeline",
+    "FittedKernelModel",
+]

@@ -1,0 +1,136 @@
+"""Calibration pipeline: benchmark datasets -> validated performance models.
+
+This module is the executable form of the left half of the paper's Fig. 2:
+take the per-kernel timing tables produced by instrumentation, split them
+into train/test partitions, fit a model with the selected method, and
+report validation error (MAPE) for each kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.models.base import PerformanceModel
+from repro.models.dataset import BenchmarkDataset
+from repro.models.lut import LookupTableModel
+from repro.models.metrics import mape
+from repro.models.symreg.gp import GPConfig
+from repro.models.symreg.model import SymbolicRegressionModel
+
+
+@dataclass
+class FittedKernelModel:
+    """A fitted model plus its validation record for one kernel."""
+
+    kernel: str
+    model: PerformanceModel
+    method: str
+    train_mape: float
+    test_mape: Optional[float]
+    dataset: BenchmarkDataset = field(repr=False, default=None)
+
+    def summary(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "method": self.method,
+            "train_mape": self.train_mape,
+            "test_mape": self.test_mape,
+        }
+
+
+def dataset_mape(model: PerformanceModel, dataset: BenchmarkDataset) -> float:
+    """MAPE of *model*'s deterministic predictions vs per-point means."""
+    actual, predicted = [], []
+    for key in dataset.keys():
+        params = dataset.params_of(key)
+        actual.append(dataset.mean(params))
+        predicted.append(model.predict(params))
+    return mape(actual, predicted)
+
+
+class CalibrationPipeline:
+    """Fits and validates models for a set of instrumented kernels.
+
+    Parameters
+    ----------
+    method:
+        ``"symreg"`` (the case study's method) or ``"lut"``.
+    test_fraction:
+        Held-out fraction of parameter combinations for validation.
+    gp_config:
+        Hyper-parameters when ``method="symreg"``.
+    log_target:
+        Fit symbolic regression in log space (useful when kernel times
+        span decades, as the checkpoint kernels do).
+    seed:
+        Controls both the train/test split and the GP engine.
+    """
+
+    def __init__(
+        self,
+        method: str = "symreg",
+        test_fraction: float = 0.25,
+        gp_config: Optional[GPConfig] = None,
+        log_target: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if method not in ("symreg", "lut"):
+            raise ValueError(f"unknown method {method!r}")
+        self.method = method
+        self.test_fraction = test_fraction
+        self.gp_config = gp_config
+        self.log_target = log_target
+        self.seed = seed
+
+    def fit_kernel(self, dataset: BenchmarkDataset) -> FittedKernelModel:
+        """Fit one kernel's dataset, returning the validated model."""
+        if len(dataset) < 2:
+            raise ValueError(
+                f"kernel {dataset.kernel!r} has {len(dataset)} parameter "
+                "combinations; need >= 2"
+            )
+        train, test = dataset.split(self.test_fraction, seed=self.seed)
+        if self.method == "symreg":
+            model: PerformanceModel = SymbolicRegressionModel.fit_dataset(
+                train,
+                test,
+                config=self.gp_config,
+                seed=self.seed,
+                log_target=self.log_target,
+            )
+        else:
+            model = LookupTableModel(train, sample_mode="mean")
+        return FittedKernelModel(
+            kernel=dataset.kernel,
+            model=model,
+            method=self.method,
+            train_mape=dataset_mape(model, train),
+            test_mape=dataset_mape(model, test) if len(test) else None,
+            dataset=dataset,
+        )
+
+    def fit_all(
+        self, datasets: Mapping[str, BenchmarkDataset]
+    ) -> dict[str, FittedKernelModel]:
+        """Fit every kernel in *datasets* (name -> dataset)."""
+        return {name: self.fit_kernel(ds) for name, ds in sorted(datasets.items())}
+
+    @staticmethod
+    def validation_table(
+        fitted: Mapping[str, FittedKernelModel],
+        reference: Optional[Mapping[str, BenchmarkDataset]] = None,
+    ) -> dict[str, float]:
+        """Per-kernel MAPE table (the shape of the paper's Table III).
+
+        With *reference* datasets (e.g. the full benchmark table including
+        held-out points) the error is computed against those; otherwise
+        against each model's own full dataset.
+        """
+        out: dict[str, float] = {}
+        for name, fk in fitted.items():
+            ds = reference[name] if reference is not None else fk.dataset
+            out[name] = dataset_mape(fk.model, ds)
+        return out

@@ -1,0 +1,204 @@
+"""Look-up-table interpolation models.
+
+This is the paper's first modeling method: *"the training data is
+organized into lookup tables based on the corresponding system parameters.
+When a function from the AppBEO is called during simulation, the
+corresponding lookup table is searched for the function arguments, and one
+of many samples is selected for a runtime prediction.  If the parameters
+in the current function call do not have an existing sample ... the
+simulator estimates a value by using one of several implemented methods to
+interpolate."*
+
+Supported interpolation methods:
+
+``"multilinear"``
+    Recursive per-axis linear interpolation of the per-point mean over the
+    rectilinear grid formed by the table (with optional linear
+    extrapolation past the edges).
+``"nearest"``
+    Value of the closest table point (normalised axes).
+``"idw"``
+    Inverse-distance weighting over all table points; also the automatic
+    fallback when a multilinear query needs a missing grid corner.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.models.base import ModelError, PerformanceModel
+from repro.models.dataset import BenchmarkDataset
+
+
+class LookupTableModel(PerformanceModel):
+    """Interpolating sample table backed by a :class:`BenchmarkDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Calibration samples.
+    interpolation:
+        ``"multilinear"``, ``"nearest"`` or ``"idw"``.
+    sample_mode:
+        Behaviour at exact parameter hits: ``"draw"`` picks one calibration
+        sample with the supplied RNG (Monte-Carlo mode; falls back to the
+        mean when no RNG is given), ``"mean"`` / ``"median"`` are
+        deterministic.
+    extrapolation:
+        ``"clamp"`` holds edge values; ``"linear"`` extends the edge slope
+        (multilinear only).
+    noise:
+        ``"relative"`` multiplies interpolated predictions by a noise
+        factor ``sample/mean`` drawn at the nearest table point, so
+        Monte-Carlo variance is preserved away from grid points;
+        ``"none"`` returns the plain interpolant.
+    """
+
+    def __init__(
+        self,
+        dataset: BenchmarkDataset,
+        interpolation: str = "multilinear",
+        sample_mode: str = "draw",
+        extrapolation: str = "linear",
+        noise: str = "none",
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        if interpolation not in ("multilinear", "nearest", "idw"):
+            raise ValueError(f"unknown interpolation {interpolation!r}")
+        if sample_mode not in ("draw", "mean", "median"):
+            raise ValueError(f"unknown sample_mode {sample_mode!r}")
+        if extrapolation not in ("clamp", "linear"):
+            raise ValueError(f"unknown extrapolation {extrapolation!r}")
+        if noise not in ("none", "relative"):
+            raise ValueError(f"unknown noise mode {noise!r}")
+        self.dataset = dataset
+        self.param_names = dataset.param_names
+        self.interpolation = interpolation
+        self.sample_mode = sample_mode
+        self.extrapolation = extrapolation
+        self.noise = noise
+
+        self._keys = np.asarray(dataset.keys(), dtype=float)  # (n, d)
+        self._means = np.asarray(
+            [np.mean(dataset._rows[k]) for k in dataset.keys()], dtype=float
+        )
+        self._axes = [dataset.grid_values(n) for n in self.param_names]
+        # Axis spans for normalised distance computations.
+        spans = np.array(
+            [max(ax.max() - ax.min(), 1.0) for ax in self._axes], dtype=float
+        )
+        self._spans = spans
+        self._mean_by_key = {
+            tuple(k): m for k, m in zip(map(tuple, self._keys), self._means)
+        }
+
+    # -- public API ------------------------------------------------------------
+
+    def predict(
+        self,
+        params: Mapping[str, float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        self._check_params(params)
+        key = self.dataset.key_of(params)
+        samples = self.dataset._rows.get(key)
+        if samples is not None:
+            return self._predict_exact(np.asarray(samples, dtype=float), rng)
+        value = self._interpolate(np.asarray(key, dtype=float))
+        if self.noise == "relative" and rng is not None:
+            value *= self._noise_factor(np.asarray(key, dtype=float), rng)
+        return max(float(value), 0.0)
+
+    # -- exact hits --------------------------------------------------------------
+
+    def _predict_exact(self, samples: np.ndarray, rng) -> float:
+        if self.sample_mode == "draw" and rng is not None:
+            return float(rng.choice(samples))
+        if self.sample_mode == "median":
+            return float(np.median(samples))
+        return float(samples.mean())
+
+    # -- interpolation -------------------------------------------------------------
+
+    def _interpolate(self, point: np.ndarray) -> float:
+        if self.interpolation == "nearest":
+            return self._nearest_value(point)
+        if self.interpolation == "idw":
+            return self._idw(point)
+        return self._multilinear(point)
+
+    def _nearest_index(self, point: np.ndarray) -> int:
+        d = np.linalg.norm((self._keys - point) / self._spans, axis=1)
+        return int(np.argmin(d))
+
+    def _nearest_value(self, point: np.ndarray) -> float:
+        return float(self._means[self._nearest_index(point)])
+
+    def _idw(self, point: np.ndarray, power: float = 2.0) -> float:
+        d = np.linalg.norm((self._keys - point) / self._spans, axis=1)
+        exact = d < 1e-12
+        if np.any(exact):
+            return float(self._means[exact][0])
+        w = 1.0 / d**power
+        return float(np.sum(w * self._means) / np.sum(w))
+
+    def _bracket(self, axis: np.ndarray, v: float) -> tuple[int, int, float]:
+        """Indices of the bracketing grid values and interpolation weight."""
+        if len(axis) == 1:
+            return 0, 0, 0.0
+        hi = int(np.searchsorted(axis, v))
+        hi = min(max(hi, 1), len(axis) - 1)
+        lo = hi - 1
+        t = (v - axis[lo]) / (axis[hi] - axis[lo])
+        if self.extrapolation == "clamp":
+            t = min(max(t, 0.0), 1.0)
+        return lo, hi, float(t)
+
+    def _multilinear(self, point: np.ndarray) -> float:
+        brackets = [
+            self._bracket(ax, v) for ax, v in zip(self._axes, point)
+        ]
+
+        def corner_value(bits: int) -> float:
+            key = tuple(
+                self._axes[d][brackets[d][1] if (bits >> d) & 1 else brackets[d][0]]
+                for d in range(len(brackets))
+            )
+            val = self._mean_by_key.get(key)
+            if val is None:
+                raise _MissingCorner(key)
+            return val
+
+        n = len(brackets)
+
+        def reduce(d: int, bits: int) -> float:
+            if d == n:
+                return corner_value(bits)
+            lo = reduce(d + 1, bits)
+            hi = reduce(d + 1, bits | (1 << d))
+            t = brackets[d][2]
+            return lo * (1 - t) + hi * t
+
+        try:
+            return float(reduce(0, 0))
+        except _MissingCorner:
+            # Sparse table: fall back to inverse-distance weighting.
+            return self._idw(point)
+
+    # -- Monte-Carlo noise ------------------------------------------------------------
+
+    def _noise_factor(self, point: np.ndarray, rng: np.random.Generator) -> float:
+        idx = self._nearest_index(point)
+        key = tuple(self._keys[idx])
+        samples = np.asarray(self.dataset._rows[key], dtype=float)
+        mean = samples.mean()
+        if mean <= 0:
+            return 1.0
+        return float(rng.choice(samples)) / float(mean)
+
+
+class _MissingCorner(ModelError):
+    """Internal: a multilinear corner is absent from the table."""

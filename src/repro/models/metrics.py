@@ -1,0 +1,57 @@
+"""Error metrics for model validation.
+
+The paper reports Mean Average Percent Error (MAPE) for both instance
+models (Table III) and full-system simulations (Table IV); the other
+metrics here are standard companions used by the calibration pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.size == 0:
+        raise ValueError("empty input")
+    return a, p
+
+
+def percent_error(actual: float, predicted: float) -> float:
+    """Absolute percent error of one prediction: ``100*|p-a|/|a|``."""
+    if actual == 0:
+        raise ZeroDivisionError("percent error undefined for actual == 0")
+    return 100.0 * abs(predicted - actual) / abs(actual)
+
+
+def mape(actual, predicted) -> float:
+    """Mean Absolute Percentage Error, in percent (the paper's metric)."""
+    a, p = _as_arrays(actual, predicted)
+    if np.any(a == 0):
+        raise ZeroDivisionError("MAPE undefined when any actual value is 0")
+    return float(np.mean(np.abs((p - a) / a))) * 100.0
+
+
+def mae(actual, predicted) -> float:
+    """Mean absolute error."""
+    a, p = _as_arrays(actual, predicted)
+    return float(np.mean(np.abs(p - a)))
+
+
+def rmse(actual, predicted) -> float:
+    """Root-mean-square error."""
+    a, p = _as_arrays(actual, predicted)
+    return float(np.sqrt(np.mean((p - a) ** 2)))
+
+
+def r2_score(actual, predicted) -> float:
+    """Coefficient of determination; 1.0 is a perfect fit."""
+    a, p = _as_arrays(actual, predicted)
+    ss_res = float(np.sum((a - p) ** 2))
+    ss_tot = float(np.sum((a - np.mean(a)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else float("-inf")
+    return 1.0 - ss_res / ss_tot

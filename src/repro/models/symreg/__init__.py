@@ -1,0 +1,35 @@
+"""Genetic-programming symbolic regression (Chenna et al. [19]).
+
+The paper's case-study models are produced by "our symbolic regression
+tool ... through an iterative process", with benchmarking data split into
+training and testing partitions.  This package reimplements that tool:
+
+* :mod:`~repro.models.symreg.expr` — vectorised expression trees with
+  protected operators,
+* :mod:`~repro.models.symreg.parser` — infix parser for round-tripping
+  serialised models,
+* :mod:`~repro.models.symreg.gp` — the genetic-programming engine
+  (tournament selection, subtree crossover/mutation, parsimony pressure,
+  optional constant refinement via least squares),
+* :mod:`~repro.models.symreg.model` — the
+  :class:`~repro.models.base.PerformanceModel` wrapper with calibrated
+  multiplicative noise for Monte-Carlo simulation.
+"""
+
+from repro.models.symreg.expr import Expression, Const, Var, Unary, Binary
+from repro.models.symreg.parser import parse_expression, ParseError
+from repro.models.symreg.gp import SymbolicRegressor, GPConfig
+from repro.models.symreg.model import SymbolicRegressionModel
+
+__all__ = [
+    "Expression",
+    "Const",
+    "Var",
+    "Unary",
+    "Binary",
+    "parse_expression",
+    "ParseError",
+    "SymbolicRegressor",
+    "GPConfig",
+    "SymbolicRegressionModel",
+]

@@ -1,0 +1,296 @@
+"""Expression trees for symbolic regression.
+
+Expressions evaluate vectorised over NumPy arrays and use *protected*
+operators (division, log, sqrt, pow) so that any tree produced by the
+genetic operators yields finite values on any input — a standard GP
+hygiene requirement that keeps fitness evaluation total.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+_EPS = 1e-12
+_EXP_CLIP = 60.0
+_POW_CLIP = 6.0
+
+
+class Expression:
+    """Base node.  Subclasses: :class:`Const`, :class:`Var`,
+    :class:`Unary`, :class:`Binary`."""
+
+    #: node count contribution used by parsimony pressure
+    arity = 0
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate over *env* (parameter name -> array), returning finite
+        values of the broadcast shape."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def with_children(self, children: tuple["Expression", ...]) -> "Expression":
+        """A copy of this node with *children* substituted."""
+        raise NotImplementedError
+
+    # -- structural helpers ---------------------------------------------------
+
+    def size(self) -> int:
+        """Total node count (complexity measure)."""
+        return 1 + sum(c.size() for c in self.children())
+
+    def depth(self) -> int:
+        kids = self.children()
+        return 1 if not kids else 1 + max(c.depth() for c in kids)
+
+    def walk(self) -> Iterator["Expression"]:
+        """Pre-order traversal."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def copy(self) -> "Expression":
+        return self.with_children(tuple(c.copy() for c in self.children()))
+
+    def replace(self, index: int, new: "Expression") -> "Expression":
+        """A copy with the pre-order node at *index* replaced by *new*."""
+
+        def rec(node: Expression, counter: list[int]) -> Expression:
+            if counter[0] == index:
+                counter[0] += 1
+                return new.copy()
+            counter[0] += 1
+            kids = tuple(rec(c, counter) for c in node.children())
+            return node.with_children(kids) if kids else node
+
+        return rec(self, [0])
+
+    def variables(self) -> set[str]:
+        return {n.name for n in self.walk() if isinstance(n, Var)}
+
+    def constants(self) -> list[float]:
+        return [n.value for n in self.walk() if isinstance(n, Const)]
+
+    def with_constants(self, values) -> "Expression":
+        """A copy with constants replaced in pre-order by *values*."""
+        it = iter(values)
+
+        def rec(node: Expression) -> Expression:
+            if isinstance(node, Const):
+                return Const(float(next(it)))
+            kids = tuple(rec(c) for c in node.children())
+            return node.with_children(kids) if kids else node
+
+        return rec(self)
+
+    def simplify(self) -> "Expression":
+        """Constant folding plus a few algebraic identities."""
+        return _simplify(self)
+
+    # -- misc -------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Expression) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expression<{self}>"
+
+
+class Const(Expression):
+    """A floating-point literal."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def evaluate(self, env):
+        return np.asarray(self.value, dtype=float)
+
+    def with_children(self, children):
+        assert not children
+        return Const(self.value)
+
+    def __str__(self) -> str:
+        # repr() keeps full precision so parse(str(e)) round-trips exactly.
+        return repr(self.value)
+
+
+class Var(Expression):
+    """A named parameter."""
+
+    def __init__(self, name: str) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"invalid variable name {name!r}")
+        self.name = name
+
+    def evaluate(self, env):
+        try:
+            return np.asarray(env[self.name], dtype=float)
+        except KeyError:
+            raise KeyError(f"variable {self.name!r} missing from environment")
+
+    def with_children(self, children):
+        assert not children
+        return Var(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _p_sqrt(x):
+    return np.sqrt(np.abs(x))
+
+
+def _p_log(x):
+    return np.log(np.abs(x) + _EPS)
+
+
+def _p_exp(x):
+    return np.exp(np.clip(x, -_EXP_CLIP, _EXP_CLIP))
+
+
+def _p_div(a, b):
+    return np.where(np.abs(b) < _EPS, 1.0, a / np.where(np.abs(b) < _EPS, 1.0, b))
+
+
+def _p_pow(a, b):
+    b = np.clip(b, -_POW_CLIP, _POW_CLIP)
+    with np.errstate(all="ignore"):
+        out = np.power(np.abs(a) + _EPS, b)
+    return np.nan_to_num(out, nan=1.0, posinf=1e30, neginf=-1e30)
+
+
+UNARY_OPS = {
+    "neg": np.negative,
+    "sqrt": _p_sqrt,
+    "log": _p_log,
+    "exp": _p_exp,
+    "abs": np.abs,
+    "cbrt": np.cbrt,
+    "square": np.square,
+}
+
+BINARY_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": _p_div,
+    "pow": _p_pow,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+#: operator sets offered to the GP engine by default (pow/min/max excluded;
+#: they destabilise the search and the paper's kernels don't need them)
+DEFAULT_UNARY = ("sqrt", "log", "square")
+DEFAULT_BINARY = ("+", "-", "*", "/")
+
+
+class Unary(Expression):
+    """A one-argument operator node."""
+
+    arity = 1
+
+    def __init__(self, op: str, child: Expression) -> None:
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.child = child
+
+    def evaluate(self, env):
+        with np.errstate(all="ignore"):
+            out = UNARY_OPS[self.op](self.child.evaluate(env))
+        return np.nan_to_num(out, nan=0.0, posinf=1e30, neginf=-1e30)
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (c,) = children
+        return Unary(self.op, c)
+
+    def __str__(self) -> str:
+        if self.op == "neg":
+            return f"(-{self.child})"
+        return f"{self.op}({self.child})"
+
+
+class Binary(Expression):
+    """A two-argument operator node."""
+
+    arity = 2
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env):
+        with np.errstate(all="ignore"):
+            out = BINARY_OPS[self.op](
+                self.left.evaluate(env), self.right.evaluate(env)
+            )
+        return np.nan_to_num(out, nan=0.0, posinf=1e30, neginf=-1e30)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def with_children(self, children):
+        left, right = children
+        return Binary(self.op, left, right)
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max", "pow"):
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+def _simplify(node: Expression) -> Expression:
+    kids = tuple(_simplify(c) for c in node.children())
+    if kids:
+        node = node.with_children(kids)
+    # Constant folding.
+    if kids and all(isinstance(c, Const) for c in kids):
+        try:
+            val = float(node.evaluate({}))
+            if math.isfinite(val):
+                return Const(val)
+        except Exception:  # pragma: no cover - protected ops shouldn't raise
+            pass
+    # Identities.
+    if isinstance(node, Binary):
+        left, right = node.left, node.right
+        lz = isinstance(left, Const) and left.value == 0.0
+        rz = isinstance(right, Const) and right.value == 0.0
+        lo = isinstance(left, Const) and left.value == 1.0
+        ro = isinstance(right, Const) and right.value == 1.0
+        if node.op == "+":
+            if lz:
+                return right
+            if rz:
+                return left
+        elif node.op == "-":
+            if rz:
+                return left
+        elif node.op == "*":
+            if lo:
+                return right
+            if ro:
+                return left
+            if lz or rz:
+                return Const(0.0)
+        elif node.op == "/":
+            if ro:
+                return left
+    if isinstance(node, Unary) and node.op == "neg":
+        if isinstance(node.child, Unary) and node.child.op == "neg":
+            return node.child.child
+    return node

@@ -1,0 +1,400 @@
+"""The genetic-programming engine behind symbolic regression.
+
+Multi-gene GP in the style of real symbolic-regression tools (and of the
+multi-parameter performance-modeling approach of Chenna et al. [19]):
+
+* an individual is a small set of expression trees ("genes");
+* its prediction is ``b0 + b1*g1(X) + ... + bk*gk(X)`` with the
+  coefficients solved per evaluation by (optionally relative-error
+  weighted) least squares — GP only has to discover the *shapes*
+  (``epr^3``, ``epr^2*sqrt(ranks)``, ``log(ranks)``, ...), never the
+  scales;
+* ramped half-and-half initialisation, tournament selection with
+  parsimony pressure, high-level gene crossover plus subtree
+  crossover/mutation/point mutation/constant jitter;
+* a hall of fame scored on the *test* split (the paper's iterative
+  train/test process);
+* full determinism given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.symreg.expr import (
+    DEFAULT_BINARY,
+    DEFAULT_UNARY,
+    Binary,
+    Const,
+    Expression,
+    Unary,
+    Var,
+)
+
+
+@dataclass
+class GPConfig:
+    """Hyper-parameters for :class:`SymbolicRegressor`."""
+
+    population_size: int = 300
+    generations: int = 40
+    tournament_k: int = 5
+    p_crossover: float = 0.65
+    p_subtree_mutation: float = 0.15
+    p_point_mutation: float = 0.1
+    p_const_jitter: float = 0.1
+    max_depth: int = 5
+    init_depth: tuple[int, int] = (1, 3)
+    parsimony: float = 1e-4
+    const_range: tuple[float, float] = (-5.0, 5.0)
+    unary_ops: Sequence[str] = DEFAULT_UNARY
+    binary_ops: Sequence[str] = DEFAULT_BINARY
+    elitism: int = 2
+    #: genes per individual; prediction is an OLS-fitted linear
+    #: combination of the genes (1 = classic GP with linear scaling)
+    n_genes: int = 4
+    early_stop_nrmse: float = 1e-9
+    #: "relative" weights residuals by 1/|y| (right choice when the target
+    #: spans orders of magnitude); "nrmse" normalises by std(y)
+    fitness: str = "relative"
+
+    def __post_init__(self) -> None:
+        total = self.p_crossover + self.p_subtree_mutation + self.p_point_mutation
+        if total > 1.0 + 1e-9:
+            raise ValueError("operator probabilities exceed 1")
+        if self.population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if self.n_genes < 1:
+            raise ValueError("n_genes must be >= 1")
+        if self.fitness not in ("nrmse", "relative"):
+            raise ValueError(f"unknown fitness {self.fitness!r}")
+
+
+@dataclass
+class FitResult:
+    """Outcome of a :meth:`SymbolicRegressor.fit` run."""
+
+    expression: Expression
+    train_nrmse: float
+    test_nrmse: Optional[float]
+    generations_run: int
+    history: list[float] = field(default_factory=list)
+
+
+class _Individual:
+    """A multi-gene individual: genes plus lazily-fitted coefficients."""
+
+    __slots__ = ("genes", "coeffs", "error", "fitness")
+
+    def __init__(self, genes: list[Expression]):
+        self.genes = genes
+        self.coeffs: Optional[np.ndarray] = None
+        self.error = float("inf")
+        self.fitness = float("inf")
+
+    def size(self) -> int:
+        return sum(g.size() for g in self.genes)
+
+
+class SymbolicRegressor:
+    """Fits an :class:`Expression` to ``(X, y)`` data by genetic programming.
+
+    Parameters
+    ----------
+    param_names:
+        Column names of ``X`` — the variables available to the evolved
+        expressions.
+    config:
+        Hyper-parameters; defaults are sized for the case-study problems
+        (2 variables, tens of training points).
+    seed:
+        Seed for the engine's private RNG.
+    """
+
+    def __init__(
+        self,
+        param_names: Sequence[str],
+        config: Optional[GPConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not param_names:
+            raise ValueError("param_names must be non-empty")
+        self.param_names = tuple(param_names)
+        self.config = config or GPConfig()
+        self.rng = np.random.default_rng(seed)
+        self.result: Optional[FitResult] = None
+
+    # -- tree generation ---------------------------------------------------------
+
+    def _random_const(self) -> Const:
+        lo, hi = self.config.const_range
+        return Const(float(np.round(self.rng.uniform(lo, hi), 4)))
+
+    def _random_leaf(self) -> Expression:
+        if self.rng.random() < 0.75:
+            return Var(str(self.rng.choice(self.param_names)))
+        return self._random_const()
+
+    def _random_tree(self, depth: int, full: bool) -> Expression:
+        if depth <= 1 or (not full and self.rng.random() < 0.3):
+            return self._random_leaf()
+        if self.config.unary_ops and self.rng.random() < 0.25:
+            op = str(self.rng.choice(list(self.config.unary_ops)))
+            return Unary(op, self._random_tree(depth - 1, full))
+        op = str(self.rng.choice(list(self.config.binary_ops)))
+        return Binary(
+            op,
+            self._random_tree(depth - 1, full),
+            self._random_tree(depth - 1, full),
+        )
+
+    def _random_individual(self, i: int) -> _Individual:
+        lo, hi = self.config.init_depth
+        depths = list(range(lo, hi + 1))
+        ngenes = 1 + int(self.rng.integers(0, self.config.n_genes))
+        genes = [
+            self._random_tree(depths[(i + g) % len(depths)], full=(i + g) % 2 == 0)
+            for g in range(ngenes)
+        ]
+        return _Individual(genes)
+
+    # -- fitness --------------------------------------------------------------------
+
+    def _design_matrix(self, genes: list[Expression], env: dict, n: int) -> np.ndarray:
+        cols = [np.ones(n)]
+        for g in genes:
+            col = np.broadcast_to(np.asarray(g.evaluate(env), dtype=float), (n,))
+            cols.append(np.nan_to_num(col, nan=0.0, posinf=1e30, neginf=-1e30))
+        return np.column_stack(cols)
+
+    def _weights(self, y: np.ndarray) -> np.ndarray:
+        if self.config.fitness == "relative":
+            return 1.0 / np.maximum(np.abs(y), 1e-30)
+        return np.ones_like(y)
+
+    def _evaluate(self, ind: _Individual, env: dict, y: np.ndarray) -> None:
+        """Solve the gene coefficients by weighted least squares and score."""
+        n = y.shape[0]
+        A = self._design_matrix(ind.genes, env, n)
+        w = self._weights(y)
+        Aw = A * w[:, None]
+        try:
+            coeffs, *_ = np.linalg.lstsq(Aw, y * w, rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely fails
+            ind.coeffs = None
+            ind.error = ind.fitness = 1e30
+            return
+        if not np.all(np.isfinite(coeffs)):
+            ind.coeffs = None
+            ind.error = ind.fitness = 1e30
+            return
+        resid = (A @ coeffs - y) * w
+        err = float(np.sqrt(np.mean(resid**2)))
+        ind.coeffs = coeffs
+        ind.error = err if np.isfinite(err) else 1e30
+        ind.fitness = ind.error + self.config.parsimony * ind.size()
+
+    def _score_on(self, ind: _Individual, env: dict, y: np.ndarray) -> float:
+        """Error of an already-fitted individual on another split."""
+        if ind.coeffs is None:
+            return 1e30
+        n = y.shape[0]
+        A = self._design_matrix(ind.genes, env, n)
+        resid = (A @ ind.coeffs - y) * self._weights(y)
+        err = float(np.sqrt(np.mean(resid**2)))
+        return err if np.isfinite(err) else 1e30
+
+    # -- genetic operators -------------------------------------------------------------
+
+    def _tournament(self, pop: list[_Individual]) -> _Individual:
+        idx = self.rng.integers(0, len(pop), size=self.config.tournament_k)
+        return min((pop[int(i)] for i in idx), key=lambda ind: ind.fitness)
+
+    def _random_node_index(self, expr: Expression) -> int:
+        return int(self.rng.integers(0, expr.size()))
+
+    def _clone(self, ind: _Individual) -> _Individual:
+        return _Individual([g.copy() for g in ind.genes])
+
+    def _crossover(self, a: _Individual, b: _Individual) -> _Individual:
+        child = self._clone(a)
+        if self.rng.random() < 0.4 and len(child.genes) >= 1:
+            # High-level: replace or append a whole gene from b.
+            donor = b.genes[int(self.rng.integers(0, len(b.genes)))].copy()
+            if (
+                len(child.genes) < self.config.n_genes
+                and self.rng.random() < 0.5
+            ):
+                child.genes.append(donor)
+            else:
+                child.genes[int(self.rng.integers(0, len(child.genes)))] = donor
+            return child
+        # Low-level: subtree crossover between random genes.
+        gi = int(self.rng.integers(0, len(child.genes)))
+        donor_gene = b.genes[int(self.rng.integers(0, len(b.genes)))]
+        donor_sub = list(donor_gene.walk())[self._random_node_index(donor_gene)]
+        child.genes[gi] = self._enforce_depth(
+            child.genes[gi].replace(self._random_node_index(child.genes[gi]), donor_sub)
+        )
+        return child
+
+    def _subtree_mutation(self, a: _Individual) -> _Individual:
+        child = self._clone(a)
+        gi = int(self.rng.integers(0, len(child.genes)))
+        sub = self._random_tree(int(self.rng.integers(1, 4)), full=False)
+        child.genes[gi] = self._enforce_depth(
+            child.genes[gi].replace(self._random_node_index(child.genes[gi]), sub)
+        )
+        return child
+
+    def _point_mutation(self, a: _Individual) -> _Individual:
+        child = self._clone(a)
+        gi = int(self.rng.integers(0, len(child.genes)))
+        gene = child.genes[gi]
+        idx = self._random_node_index(gene)
+        target = list(gene.walk())[idx]
+        if isinstance(target, Binary):
+            op = str(self.rng.choice(list(self.config.binary_ops)))
+            child.genes[gi] = gene.replace(idx, Binary(op, target.left, target.right))
+        elif isinstance(target, Unary) and self.config.unary_ops:
+            op = str(self.rng.choice(list(self.config.unary_ops)))
+            child.genes[gi] = gene.replace(idx, Unary(op, target.child))
+        else:
+            child.genes[gi] = gene.replace(idx, self._random_leaf())
+        return child
+
+    def _const_jitter(self, a: _Individual) -> _Individual:
+        child = self._clone(a)
+        gi = int(self.rng.integers(0, len(child.genes)))
+        consts = child.genes[gi].constants()
+        if not consts:
+            return self._point_mutation(a)
+        jittered = [
+            c * float(self.rng.normal(1.0, 0.2)) + float(self.rng.normal(0, 0.01))
+            for c in consts
+        ]
+        child.genes[gi] = child.genes[gi].with_constants(jittered)
+        return child
+
+    def _enforce_depth(self, expr: Expression) -> Expression:
+        if expr.depth() <= self.config.max_depth + 1:
+            return expr
+        return self._random_tree(self.config.init_depth[1], full=False)
+
+    # -- assembling the champion ---------------------------------------------------------
+
+    @staticmethod
+    def _to_expression(ind: _Individual) -> Expression:
+        """Materialise ``b0 + sum(bi * gene_i)`` as one expression tree."""
+        assert ind.coeffs is not None
+        out: Expression = Const(float(ind.coeffs[0]))
+        for b, gene in zip(ind.coeffs[1:], ind.genes):
+            if b == 0.0:
+                continue
+            out = Binary("+", out, Binary("*", Const(float(b)), gene.copy()))
+        return out.simplify()
+
+    # -- main loop ------------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        X_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        """Evolve an expression fitting ``X -> y``.
+
+        ``X`` has one column per entry of :attr:`param_names`.  When a
+        test split is supplied the returned champion is the hall-of-fame
+        individual with the best *test* error, which is how the paper's
+        tool selects its model each iteration.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X rows {X.shape[0]} != y rows {y.shape[0]}")
+        if X.shape[1] != len(self.param_names):
+            raise ValueError(
+                f"X has {X.shape[1]} columns for {len(self.param_names)} parameters"
+            )
+        env = {name: X[:, j] for j, name in enumerate(self.param_names)}
+        test_env = None
+        if X_test is not None and y_test is not None:
+            X_test = np.atleast_2d(np.asarray(X_test, dtype=float))
+            y_test = np.asarray(y_test, dtype=float).ravel()
+            test_env = {
+                name: X_test[:, j] for j, name in enumerate(self.param_names)
+            }
+
+        cfg = self.config
+        pop = [self._random_individual(i) for i in range(cfg.population_size)]
+        for ind in pop:
+            self._evaluate(ind, env, y)
+
+        hof_ind: Optional[_Individual] = None
+        hof_score = float("inf")
+        history: list[float] = []
+        gens_run = 0
+
+        for gen in range(cfg.generations):
+            gens_run = gen + 1
+            pop.sort(key=lambda ind: ind.fitness)
+            history.append(pop[0].error)
+
+            # Hall of fame scored on the test split when available.
+            for cand in pop[: max(cfg.elitism, 1)]:
+                score = (
+                    self._score_on(cand, test_env, y_test)
+                    if test_env is not None
+                    else cand.error
+                )
+                if score < hof_score:
+                    hof_score = score
+                    hof_ind = cand
+
+            if pop[0].error < cfg.early_stop_nrmse:
+                break
+
+            next_pop: list[_Individual] = pop[: cfg.elitism]
+            while len(next_pop) < cfg.population_size:
+                r = self.rng.random()
+                parent = self._tournament(pop)
+                if r < cfg.p_crossover:
+                    child = self._crossover(parent, self._tournament(pop))
+                elif r < cfg.p_crossover + cfg.p_subtree_mutation:
+                    child = self._subtree_mutation(parent)
+                elif r < cfg.p_crossover + cfg.p_subtree_mutation + cfg.p_point_mutation:
+                    child = self._point_mutation(parent)
+                elif r < (
+                    cfg.p_crossover
+                    + cfg.p_subtree_mutation
+                    + cfg.p_point_mutation
+                    + cfg.p_const_jitter
+                ):
+                    child = self._const_jitter(parent)
+                else:
+                    child = self._clone(parent)
+                self._evaluate(child, env, y)
+                next_pop.append(child)
+            pop = next_pop
+
+        if hof_ind is None:  # no generations ran
+            hof_ind = min(pop, key=lambda ind: ind.fitness)
+        best_expr = self._to_expression(hof_ind)
+        result = FitResult(
+            expression=best_expr,
+            train_nrmse=hof_ind.error,
+            test_nrmse=(
+                self._score_on(hof_ind, test_env, y_test)
+                if test_env is not None
+                else None
+            ),
+            generations_run=gens_run,
+            history=history,
+        )
+        self.result = result
+        return result

@@ -1,0 +1,138 @@
+"""Infix parser for serialised symbolic-regression expressions.
+
+Grammar (standard precedence, left-associative):
+
+    expr    := term (('+'|'-') term)*
+    term    := unary (('*'|'/') unary)*
+    unary   := '-' unary | atom
+    atom    := NUMBER | NAME | NAME '(' expr (',' expr)* ')' | '(' expr ')'
+
+Round-trip invariant: ``parse_expression(str(e))`` evaluates identically
+to ``e`` (tested with hypothesis).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.models.symreg.expr import (
+    BINARY_OPS,
+    UNARY_OPS,
+    Binary,
+    Const,
+    Expression,
+    Unary,
+    Var,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed expression text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op>[-+*/(),]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character at {text[pos:pos+10]!r}")
+        if m.lastgroup is None:  # pure whitespace tail
+            break
+        tokens.append((m.lastgroup, m.group(m.lastgroup)))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        tok = self.next()
+        if tok[1] != value:
+            raise ParseError(f"expected {value!r}, found {tok[1]!r}")
+
+    def parse_expr(self) -> Expression:
+        node = self.parse_term()
+        while (tok := self.peek()) is not None and tok[1] in ("+", "-"):
+            self.next()
+            node = Binary(tok[1], node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expression:
+        node = self.parse_unary()
+        while (tok := self.peek()) is not None and tok[1] in ("*", "/"):
+            self.next()
+            node = Binary(tok[1], node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Expression:
+        tok = self.peek()
+        if tok is not None and tok[1] == "-":
+            self.next()
+            return Unary("neg", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expression:
+        kind, value = self.next()
+        if kind == "num":
+            return Const(float(value))
+        if kind == "name":
+            nxt = self.peek()
+            if nxt is not None and nxt[1] == "(":
+                return self.parse_call(value)
+            return Var(value)
+        if value == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        raise ParseError(f"unexpected token {value!r}")
+
+    def parse_call(self, fname: str) -> Expression:
+        self.expect("(")
+        args = [self.parse_expr()]
+        while (tok := self.peek()) is not None and tok[1] == ",":
+            self.next()
+            args.append(self.parse_expr())
+        self.expect(")")
+        if fname in UNARY_OPS:
+            if len(args) != 1:
+                raise ParseError(f"{fname} takes 1 argument, got {len(args)}")
+            return Unary(fname, args[0])
+        if fname in BINARY_OPS:
+            if len(args) != 2:
+                raise ParseError(f"{fname} takes 2 arguments, got {len(args)}")
+            return Binary(fname, args[0], args[1])
+        raise ParseError(f"unknown function {fname!r}")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse *text* into an :class:`Expression` tree."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    parser = _Parser(tokens)
+    node = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing tokens at {parser.peek()[1]!r}")
+    return node

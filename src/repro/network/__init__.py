@@ -1,0 +1,24 @@
+"""Interconnect topologies and communication cost models.
+
+The case-study machines need their networks modeled: Quartz uses a
+two-stage bidirectional fat tree (Omni-Path); Vulcan (BlueGene/Q) a
+five-dimensional torus.  The BE layer and the virtual testbed consume
+
+* a :class:`~repro.network.topology.Topology` for hop counts / paths, and
+* a :class:`~repro.network.commmodel.LogGPModel` for point-to-point and
+  collective costs parameterised on those hop counts.
+"""
+
+from repro.network.topology import Topology, FullyConnected
+from repro.network.fattree import TwoStageFatTree
+from repro.network.torus import Torus
+from repro.network.commmodel import LogGPModel, CollectiveCostModel
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "TwoStageFatTree",
+    "Torus",
+    "LogGPModel",
+    "CollectiveCostModel",
+]

@@ -1,0 +1,135 @@
+"""Communication cost models (LogGP plus simple collectives).
+
+The LogGP family models a point-to-point message as
+
+    t = L·hops + 2·o + G·bytes
+
+with ``L`` per-hop latency, ``o`` per-end software overhead, and ``G``
+time per byte (inverse bandwidth).  An optional contention factor de-rates
+bandwidth when a route crosses an oversubscribed stage (fat-tree uplinks).
+
+Collectives are modeled as logarithmic-stage algorithms over the
+point-to-point primitive — the standard coarse-grained treatment, and
+exactly the granularity BE-SST needs for coordinated checkpointing costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.network.topology import Topology
+
+
+class LogGPModel:
+    """Point-to-point message timing on a topology.
+
+    Parameters
+    ----------
+    topology:
+        Supplies hop counts and (for fat trees) oversubscription.
+    latency_per_hop:
+        Seconds per link traversal (``L``).
+    overhead:
+        Per-endpoint software overhead in seconds (``o``), counted twice.
+    bytes_per_second:
+        Link bandwidth (``1/G``).
+    contention_factor:
+        Extra de-rating multiplier (>1 slows transfers) applied when a
+        route leaves the source's minimal neighbourhood (e.g. crosses the
+        fat-tree core).  Defaults to the topology's oversubscription for
+        :class:`~repro.network.fattree.TwoStageFatTree`, else 1.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency_per_hop: float = 100e-9,
+        overhead: float = 300e-9,
+        bytes_per_second: float = 12.5e9,
+        contention_factor: Optional[float] = None,
+    ) -> None:
+        if latency_per_hop < 0 or overhead < 0:
+            raise ValueError("latencies must be non-negative")
+        if bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.topology = topology
+        self.L = float(latency_per_hop)
+        self.o = float(overhead)
+        self.G = 1.0 / float(bytes_per_second)
+        if contention_factor is None:
+            contention_factor = getattr(topology, "oversubscription", 1.0)
+        if contention_factor < 1.0:
+            raise ValueError("contention_factor must be >= 1")
+        self.contention_factor = float(contention_factor)
+
+    def _derate(self, src: int, dst: int) -> float:
+        """Bandwidth de-rating for the src→dst route."""
+        hops = self.topology.hop_count(src, dst)
+        # Routes beyond the minimal 2-hop neighbourhood cross a shared
+        # stage and see oversubscription under load.
+        return self.contention_factor if hops > 2 else 1.0
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Seconds to move *nbytes* from node *src* to node *dst*."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if src == dst:
+            # Intra-node copy: overhead plus memcpy at ~10x network rate.
+            return self.o + self.G * nbytes / 10.0
+        hops = self.topology.hop_count(src, dst)
+        return self.L * hops + 2 * self.o + self.G * nbytes * self._derate(src, dst)
+
+    def neighbor_time(self, nbytes: int) -> float:
+        """Typical minimal-distance (2-hop) transfer time."""
+        return self.L * 2 + 2 * self.o + self.G * nbytes
+
+    def far_time(self, nbytes: int) -> float:
+        """Typical maximal-distance transfer time (crosses the core)."""
+        d = self.topology.diameter()
+        return self.L * d + 2 * self.o + self.G * nbytes * self.contention_factor
+
+
+class CollectiveCostModel:
+    """Logarithmic-stage collective costs over a :class:`LogGPModel`."""
+
+    def __init__(self, p2p: LogGPModel) -> None:
+        self.p2p = p2p
+
+    def _stages(self, nranks: int) -> int:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        return max(1, math.ceil(math.log2(nranks))) if nranks > 1 else 0
+
+    def barrier(self, nranks: int) -> float:
+        """Dissemination barrier: ceil(log2 p) rounds of empty messages."""
+        return self._stages(nranks) * self.p2p.far_time(0)
+
+    def broadcast(self, nranks: int, nbytes: int) -> float:
+        """Binomial-tree broadcast."""
+        return self._stages(nranks) * self.p2p.far_time(nbytes)
+
+    def reduce(self, nranks: int, nbytes: int, op_time_per_byte: float = 0.0) -> float:
+        """Binomial-tree reduction with optional per-byte compute."""
+        s = self._stages(nranks)
+        return s * (self.p2p.far_time(nbytes) + op_time_per_byte * nbytes)
+
+    def allreduce(self, nranks: int, nbytes: int, op_time_per_byte: float = 0.0) -> float:
+        """Reduce + broadcast (the classic 2·log2 p construction)."""
+        return self.reduce(nranks, nbytes, op_time_per_byte) + self.broadcast(
+            nranks, nbytes
+        )
+
+    def gather(self, nranks: int, nbytes_per_rank: int) -> float:
+        """Linear gather bounded by the root's ingest bandwidth."""
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if nranks == 1:
+            return 0.0
+        return self.p2p.far_time(nbytes_per_rank * (nranks - 1))
+
+    def alltoall(self, nranks: int, nbytes_per_pair: int) -> float:
+        """Pairwise-exchange all-to-all: p-1 rounds."""
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        return (nranks - 1) * self.p2p.far_time(nbytes_per_pair)

@@ -1,0 +1,97 @@
+"""Dragonfly topology, for notional architectural DSE.
+
+The Co-Design phase's architectural DSE swaps interconnects: *"by
+modifying and extending the ArchBEO simulation parameters (e.g., network
+bandwidths, latencies, or topology) ... it becomes possible to perform
+architectural DSE, including DSE of notional systems."*  A dragonfly is
+the natural notional alternative to Quartz's fat tree (it is what Slingshot
+machines use).
+
+Structure: ``num_groups`` all-to-all-connected groups, each with
+``routers_per_group`` all-to-all-connected routers, each serving
+``nodes_per_router`` nodes.  Minimal routing gives hop counts:
+
+* same router: 2 (node → router → node),
+* same group:  3 (router → router),
+* other group: 5 with a direct group-to-group link
+  (router → gateway → remote gateway → router), which minimal routing
+  always has in a canonical dragonfly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import Topology
+
+
+class Dragonfly(Topology):
+    """A canonical three-level dragonfly.
+
+    Parameters
+    ----------
+    num_nodes:
+        Endpoints; the router/group structure is sized to hold them.
+    nodes_per_router:
+        Endpoints per router.
+    routers_per_group:
+        Routers per group (intra-group all-to-all).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        nodes_per_router: int = 16,
+        routers_per_group: int = 16,
+    ) -> None:
+        super().__init__(num_nodes)
+        if nodes_per_router < 1 or routers_per_group < 1:
+            raise ValueError("router sizes must be >= 1")
+        self.nodes_per_router = int(nodes_per_router)
+        self.routers_per_group = int(routers_per_group)
+        self.nodes_per_group = self.nodes_per_router * self.routers_per_group
+        self.num_routers = math.ceil(num_nodes / nodes_per_router)
+        self.num_groups = math.ceil(self.num_routers / routers_per_group)
+
+    def router_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_router
+
+    def group_of(self, node: int) -> int:
+        return self.router_of(node) // self.routers_per_group
+
+    def hop_count(self, a: int, b: int) -> int:
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return 0
+        if self.router_of(a) == self.router_of(b):
+            return 2
+        if self.group_of(a) == self.group_of(b):
+            return 3
+        return 5
+
+    def neighbors(self, node: int) -> list[int]:
+        """Endpoints on the same router (minimum-distance peers)."""
+        self._check_node(node)
+        r = self.router_of(node)
+        lo = r * self.nodes_per_router
+        hi = min(lo + self.nodes_per_router, self.num_nodes)
+        return [n for n in range(lo, hi) if n != node]
+
+    def diameter(self) -> int:
+        if self.num_groups > 1:
+            return 5
+        if self.num_routers > 1:
+            return 3
+        return 2 if self.num_nodes > 1 else 0
+
+    @property
+    def oversubscription(self) -> float:
+        """Global-link taper: node bandwidth per group vs global links.
+
+        A canonical dragonfly group has ``routers_per_group`` global links
+        (one per router, to distinct groups) carrying the traffic of
+        ``nodes_per_group`` nodes.
+        """
+        return self.nodes_per_group / max(self.routers_per_group, 1)

@@ -1,0 +1,94 @@
+"""Two-stage bidirectional fat tree (Quartz's Omni-Path fabric).
+
+Stage 1 is a row of edge switches, each serving ``nodes_per_edge`` compute
+nodes; stage 2 is a row of core switches to which every edge switch
+uplinks.  Routes are:
+
+* same node: 0 hops,
+* same edge switch: node → edge → node = 2 hops,
+* different edge switches: node → edge → core → edge → node = 4 hops.
+
+Contention is summarised by the uplink oversubscription ratio
+(``nodes_per_edge / uplinks_per_edge``), consumed by the communication
+model as a bandwidth de-rating factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import Topology
+
+
+class TwoStageFatTree(Topology):
+    """A two-level fat tree.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total compute nodes.
+    nodes_per_edge:
+        Down-links per edge switch (Omni-Path edge switches on Quartz
+        serve 32 nodes of their 48 ports).
+    uplinks_per_edge:
+        Up-links from each edge switch to the core stage.
+    num_core:
+        Core switches; defaults to ``uplinks_per_edge`` (full bisection at
+        stage 2).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        nodes_per_edge: int = 32,
+        uplinks_per_edge: int = 16,
+        num_core: int | None = None,
+    ) -> None:
+        super().__init__(num_nodes)
+        if nodes_per_edge < 1 or uplinks_per_edge < 1:
+            raise ValueError("switch port counts must be >= 1")
+        self.nodes_per_edge = int(nodes_per_edge)
+        self.uplinks_per_edge = int(uplinks_per_edge)
+        self.num_edge_switches = math.ceil(num_nodes / nodes_per_edge)
+        self.num_core = int(num_core) if num_core is not None else uplinks_per_edge
+
+    @property
+    def oversubscription(self) -> float:
+        """Down-bandwidth / up-bandwidth ratio of each edge switch."""
+        return self.nodes_per_edge / self.uplinks_per_edge
+
+    def edge_switch_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_edge
+
+    def hop_count(self, a: int, b: int) -> int:
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return 0
+        if self.edge_switch_of(a) == self.edge_switch_of(b):
+            return 2
+        return 4
+
+    def neighbors(self, node: int) -> list[int]:
+        """Nodes sharing this node's edge switch (minimum-distance peers)."""
+        self._check_node(node)
+        sw = self.edge_switch_of(node)
+        lo = sw * self.nodes_per_edge
+        hi = min(lo + self.nodes_per_edge, self.num_nodes)
+        return [n for n in range(lo, hi) if n != node]
+
+    def diameter(self) -> int:
+        return 2 if self.num_edge_switches == 1 else 4
+
+    def path(self, a: int, b: int) -> list[str]:
+        """Human-readable route, e.g. ``['n3', 'edge0', 'core*', 'edge2',
+        'n70']`` (core stage is ECMP so the core hop is symbolic)."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return [f"n{a}"]
+        ea, eb = self.edge_switch_of(a), self.edge_switch_of(b)
+        if ea == eb:
+            return [f"n{a}", f"edge{ea}", f"n{b}"]
+        return [f"n{a}", f"edge{ea}", "core*", f"edge{eb}", f"n{b}"]

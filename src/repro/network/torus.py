@@ -1,0 +1,84 @@
+"""k-ary n-dimensional torus (Vulcan's BlueGene/Q 5-D torus).
+
+Nodes are laid out in row-major order over the dimension sizes; the hop
+count between two nodes is the sum of per-dimension ring distances
+(dimension-ordered routing).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.network.topology import Topology
+
+
+class Torus(Topology):
+    """A torus with arbitrary per-dimension sizes.
+
+    Parameters
+    ----------
+    dims:
+        Size of each dimension, e.g. ``(4, 4, 4, 8, 2)`` for a BG/Q-like
+        5-D torus.  ``num_nodes`` is their product.
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"invalid torus dims {dims!r}")
+        super().__init__(math.prod(dims))
+        self.dims = dims
+
+    @classmethod
+    def cube(cls, k: int, n: int) -> "Torus":
+        """A k-ary n-cube."""
+        return cls((k,) * n)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Row-major coordinates of *node*."""
+        self._check_node(node)
+        out = []
+        for d in reversed(self.dims):
+            out.append(node % d)
+            node //= d
+        return tuple(reversed(out))
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        if len(coords) != len(self.dims):
+            raise ValueError(
+                f"expected {len(self.dims)} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise IndexError(f"coordinate {c} out of range [0, {d})")
+            node = node * d + c
+        return node
+
+    def _ring_distance(self, a: int, b: int, size: int) -> int:
+        d = abs(a - b)
+        return min(d, size - d)
+
+    def hop_count(self, a: int, b: int) -> int:
+        ca, cb = self.coords(a), self.coords(b)
+        return sum(
+            self._ring_distance(x, y, d) for x, y, d in zip(ca, cb, self.dims)
+        )
+
+    def neighbors(self, node: int) -> list[int]:
+        c = list(self.coords(node))
+        out = set()
+        for axis, d in enumerate(self.dims):
+            if d == 1:
+                continue
+            for step in (-1, 1):
+                nc = c.copy()
+                nc[axis] = (nc[axis] + step) % d
+                peer = self.node_at(nc)
+                if peer != node:
+                    out.add(peer)
+        return sorted(out)
+
+    def diameter(self) -> int:
+        return sum(d // 2 for d in self.dims)

@@ -1,0 +1,45 @@
+"""The virtual testbed: synthetic stand-ins for Quartz and Vulcan.
+
+The paper calibrates and validates against *measurements* of real LLNL
+machines.  Without that hardware, this package provides
+:class:`~repro.testbed.machine.VirtualMachine` — a machine whose
+"physics" is a set of ground-truth kernel cost functions (richer than the
+model families fitted to them: cross terms, congestion steps, lognormal
+noise with outliers).  Everything downstream treats the testbed exactly
+like a real machine:
+
+* :meth:`~repro.testbed.machine.VirtualMachine.measure` returns noisy
+  timing samples (the instrumentation step of Fig. 2),
+* :func:`~repro.testbed.executor.run_benchmark_campaign` sweeps the
+  case-study grid into :class:`~repro.models.dataset.BenchmarkDataset`
+  tables,
+* :func:`~repro.testbed.machine.measure_application_run` produces
+  measured full-application runtimes (the ground truth of Figs. 7-8 and
+  Table IV), with per-timestep straggler effects (max over ranks).
+
+``quartz.py`` and ``vulcan.py`` hold the machine definitions; notional
+variants (more memory per node, more nodes) support the prediction
+regions of Figs. 5-6.
+"""
+
+from repro.testbed.machine import (
+    VirtualMachine,
+    KernelTruth,
+    MeasuredRun,
+    measure_application_run,
+)
+from repro.testbed.executor import run_benchmark_campaign, case_study_grid
+from repro.testbed.quartz import make_quartz, QUARTZ_NODES
+from repro.testbed.vulcan import make_vulcan
+
+__all__ = [
+    "VirtualMachine",
+    "KernelTruth",
+    "MeasuredRun",
+    "measure_application_run",
+    "run_benchmark_campaign",
+    "case_study_grid",
+    "make_quartz",
+    "QUARTZ_NODES",
+    "make_vulcan",
+]

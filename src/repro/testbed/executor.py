@@ -1,0 +1,59 @@
+"""Benchmark campaigns: instrumented sweeps producing model training data.
+
+This is the "Instrument code / run benchmarks / collect samples" step of
+the Model Development phase (Fig. 2, left): sweep the parameter grid on a
+virtual machine and organise the timing samples into per-kernel
+:class:`~repro.models.dataset.BenchmarkDataset` tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.models.dataset import BenchmarkDataset
+from repro.testbed.machine import VirtualMachine
+
+#: the case study's Table II grid
+CASE_STUDY_EPRS = (5, 10, 15, 20, 25)
+CASE_STUDY_RANKS = (8, 64, 216, 512, 1000)
+
+
+def case_study_grid(
+    eprs: Sequence[int] = CASE_STUDY_EPRS,
+    ranks: Sequence[int] = CASE_STUDY_RANKS,
+) -> list[dict]:
+    """The 25 (epr, ranks) combinations of Table II."""
+    return [{"epr": e, "ranks": r} for e in eprs for r in ranks]
+
+
+def run_benchmark_campaign(
+    machine: VirtualMachine,
+    kernels: Iterable[str],
+    grid: Optional[Sequence[Mapping[str, float]]] = None,
+    samples_per_point: int = 10,
+    seed: int = 0,
+) -> dict[str, BenchmarkDataset]:
+    """Benchmark every kernel at every grid point.
+
+    Returns ``{kernel: BenchmarkDataset}``; parameter names are taken
+    from the first grid point (all points must share them).
+    """
+    grid = list(grid) if grid is not None else case_study_grid()
+    if not grid:
+        raise ValueError("empty parameter grid")
+    param_names = tuple(sorted(grid[0]))
+    for point in grid:
+        if tuple(sorted(point)) != param_names:
+            raise ValueError(
+                f"inconsistent grid point {dict(point)!r}; expected keys {param_names}"
+            )
+    out: dict[str, BenchmarkDataset] = {}
+    for kernel in kernels:
+        ds = BenchmarkDataset(param_names, kernel=kernel)
+        for point in grid:
+            samples = machine.measure(
+                kernel, point, nsamples=samples_per_point, seed=seed
+            )
+            ds.add_samples(point, samples)
+        out[kernel] = ds
+    return out

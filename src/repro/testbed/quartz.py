@@ -1,0 +1,180 @@
+"""Quartz: the case-study machine (virtualised).
+
+The real Quartz is 2,988 dual-Xeon nodes (36 cores, 128 GB) on a
+two-stage Omni-Path fat tree.  The case study ran at most 1,000 ranks at
+2 ranks/node (FTI ``node_size=2``), i.e. a 500-node allocation.
+
+Ground-truth cost surfaces below are synthetic but shaped by the same
+mechanisms the paper describes:
+
+* ``lulesh_timestep`` — volume compute (``epr^3``), face exchange
+  (``epr^2`` with mild fabric congestion), dt-allreduce (``log2 ranks``),
+* ``fti_l1`` — node-local write of the node's checkpoint payload, with a
+  coordination term that grows with the job size (FTI's coordinated
+  protocol) and storage congestion,
+* ``fti_l2`` — L1's local write plus partner copies crossing the
+  oversubscribed fabric (scales hardest with both payload and ranks),
+* ``fti_l3`` — L1 plus Reed-Solomon encoding (CPU) and parity exchange,
+* ``fti_l4`` — every node flushing to the shared PFS.
+
+Checkpoint payloads follow the LULESH state:
+``6 fields * epr^3 * 8 B`` per rank, two ranks per node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.lulesh import lulesh_state_bytes
+from repro.network.fattree import TwoStageFatTree
+from repro.testbed.machine import KernelTruth, VirtualMachine
+
+#: the full machine
+QUARTZ_NODES = 2988
+#: nodes per edge switch / uplinks (Omni-Path 48-port edge, 2:1 tapered)
+_NODES_PER_EDGE = 32
+_UPLINKS = 16
+
+#: case-study placement: FTI node_size = 2 ranks per node
+RANKS_PER_NODE = 2
+
+# -- ground-truth constants (synthetic machine physics) -----------------------
+_STEP_VOLUME = 6.0e-7        # s per element
+_STEP_SURFACE = 2.2e-6       # s per face element
+_STEP_FABRIC = 2.5e-8        # s * epr^3.6 * ranks^0.35 fabric congestion
+_STEP_ALLREDUCE = 8.0e-5     # s per log2(ranks) stage
+_STEP_BASE = 2.0e-4          # s fixed
+
+_L1_BASE = 2.0e-3
+_L1_SSD_BW = 3.5e7           # bytes/s effective node-local write
+_L1_CONGEST = 0.08           # * ranks^0.6 storage/coordination congestion
+_L1_COORD = 4.0e-5           # s per rank (coordinated protocol)
+
+_L2_BASE = 2.0e-2
+_L2_NET_BW = 5.0e7           # bytes/s effective partner-copy bandwidth
+_L2_CONGEST = 0.15           # * ranks^0.6 fabric congestion
+_L2_COORD = 1.0e-4
+_PARTNER_COPIES = 2
+
+#: payload superlinearity: checkpoint files beyond the write-back-cache
+#: scale pay progressively worse effective bandwidth, which is what makes
+#: checkpoint overhead *grow* with problem size in Fig. 9
+_PAYLOAD_EXP = 0.35
+_PAYLOAD_REF = float(RANKS_PER_NODE * 6 * 10**3 * 8)  # node payload at epr=10
+
+
+def _payload_factor(node_bytes: float) -> float:
+    return (node_bytes / _PAYLOAD_REF) ** _PAYLOAD_EXP
+
+_L3_ENCODE = 1.0e-9          # s per GF multiply-accumulate
+_GROUP_SIZE = 4
+
+_L4_BASE = 3.0e-2
+_L4_PFS_BW = 5.0e9           # bytes/s aggregate PFS ingest
+_L4_COORD = 1.0e-4
+
+
+def _node_bytes(epr: int) -> int:
+    return RANKS_PER_NODE * lulesh_state_bytes(epr)
+
+
+def _step_truth(p) -> float:
+    epr, r = int(p["epr"]), int(p["ranks"])
+    return (
+        _STEP_VOLUME * epr**3
+        + _STEP_SURFACE * epr**2
+        + _STEP_FABRIC * epr**3.6 * r**0.35
+        + _STEP_ALLREDUCE * math.log2(max(r, 2))
+        + _STEP_BASE
+    )
+
+
+def _force_truth(p) -> float:
+    """Fine-grained instrumentation: the force/stress phase (~72% of a
+    timestep).  Used by the granularity ablation (EXT7)."""
+    return 0.72 * _step_truth(p)
+
+
+def _eos_truth(p) -> float:
+    """Fine-grained instrumentation: EOS + dt phase (~28% of a timestep)."""
+    return 0.28 * _step_truth(p)
+
+
+def _l1_truth(p) -> float:
+    epr, r = int(p["epr"]), int(p["ranks"])
+    nb = _node_bytes(epr)
+    write = nb / _L1_SSD_BW * _payload_factor(nb) * (1 + _L1_CONGEST * r**0.6)
+    return _L1_BASE + write + _L1_COORD * r
+
+
+def _l2_truth(p) -> float:
+    epr, r = int(p["epr"]), int(p["ranks"])
+    nb = _node_bytes(epr)
+    local = nb / _L1_SSD_BW * _payload_factor(nb)
+    partner = (
+        _PARTNER_COPIES
+        * nb
+        / _L2_NET_BW
+        * _payload_factor(nb)
+        * (1 + _L2_CONGEST * r**0.6)
+    )
+    return _L2_BASE + local + partner + _L2_COORD * r
+
+
+def _l3_truth(p) -> float:
+    epr, r = int(p["epr"]), int(p["ranks"])
+    nb = _node_bytes(epr)
+    local = nb / _L1_SSD_BW * _payload_factor(nb)
+    encode = _L3_ENCODE * _GROUP_SIZE * _GROUP_SIZE * nb
+    parity_xfer = nb / _L2_NET_BW * _payload_factor(nb) * (1 + _L2_CONGEST * r**0.6)
+    return _L2_BASE + local + encode + parity_xfer + _L2_COORD * r
+
+
+def _l4_truth(p) -> float:
+    epr, r = int(p["epr"]), int(p["ranks"])
+    nb = _node_bytes(epr)
+    total_bytes = r * lulesh_state_bytes(epr)
+    return (
+        _L4_BASE
+        + total_bytes / _L4_PFS_BW * _payload_factor(nb)
+        + _L4_COORD * r
+    )
+
+
+def make_quartz(
+    allocation_nodes: int = 500,
+    ranks_per_node: int = RANKS_PER_NODE,
+) -> VirtualMachine:
+    """The virtual Quartz.
+
+    Parameters
+    ----------
+    allocation_nodes:
+        Size of the job allocation (the case study's partition capped runs
+        at 1,000 ranks = 500 nodes).  Pass up to :data:`QUARTZ_NODES`, or
+        beyond it for a *notional* larger Quartz.
+    ranks_per_node:
+        Placement density (FTI node_size; 2 in the case study).
+    """
+    if allocation_nodes < 1:
+        raise ValueError(f"allocation_nodes must be >= 1, got {allocation_nodes}")
+    topo = TwoStageFatTree(
+        allocation_nodes, nodes_per_edge=_NODES_PER_EDGE, uplinks_per_edge=_UPLINKS
+    )
+    kernels = {
+        "lulesh_timestep": KernelTruth(_step_truth, cv=0.06, outlier_p=0.03, outlier_scale=1.5),
+        "lulesh_force": KernelTruth(_force_truth, cv=0.07, outlier_p=0.03, outlier_scale=1.5),
+        "lulesh_eos": KernelTruth(_eos_truth, cv=0.09, outlier_p=0.03, outlier_scale=1.5),
+        "fti_l1": KernelTruth(_l1_truth, cv=0.25, outlier_p=0.08, outlier_scale=1.8),
+        "fti_l2": KernelTruth(_l2_truth, cv=0.22, outlier_p=0.10, outlier_scale=1.8),
+        "fti_l3": KernelTruth(_l3_truth, cv=0.22, outlier_p=0.08, outlier_scale=1.8),
+        "fti_l4": KernelTruth(_l4_truth, cv=0.35, outlier_p=0.12, outlier_scale=2.0),
+    }
+    return VirtualMachine(
+        name="quartz",
+        nnodes=allocation_nodes,
+        cores_per_node=36,
+        topology=topo,
+        kernels=kernels,
+        ranks_per_node=ranks_per_node,
+    )

@@ -1,0 +1,79 @@
+"""Vulcan: the BG/Q machine of BE-SST's original validation (Fig. 1).
+
+The real Vulcan was a 24,576-node BlueGene/Q (16 cores/node, 5-D torus).
+Fig. 1 validates CMT-bone timestep distributions up to a 128k-core
+allocation and predicts to 1M ranks.  The virtual Vulcan carries the
+``cmtbone_timestep`` ground truth over (elem_size, elements, ranks):
+spectral-element volume work (``elements * elem_size^4`` — the dominant
+small dense matrix multiplies), face exchange, and a shallow torus
+collective term.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.torus import Torus
+from repro.testbed.machine import KernelTruth, VirtualMachine
+
+_CMT_VOLUME = 2.0e-8     # s per point * elem_size (matmul term)
+_CMT_SURFACE = 4.0e-7    # s per face point
+_CMT_TORUS = 6.0e-5      # s per log2(ranks) (dt reduce over the torus)
+_CMT_BASE = 1.0e-4
+
+
+def _cmtbone_truth(p) -> float:
+    es = int(p["elem_size"])
+    el = int(p["elements"])
+    r = int(p["ranks"])
+    return (
+        _CMT_VOLUME * el * es**4
+        + _CMT_SURFACE * el * es**2 * (1 + 0.04 * r**0.25)
+        + _CMT_TORUS * math.log2(max(r, 2))
+        + _CMT_BASE
+    )
+
+
+def make_vulcan(allocation_nodes: int = 8192, ranks_per_node: int = 16) -> VirtualMachine:
+    """The virtual Vulcan.
+
+    Default allocation: 8,192 nodes * 16 ranks/node = the 128k-core
+    validation limit of Fig. 1.  Torus dimensions approximate BG/Q's
+    5-D shape for the allocation size.
+    """
+    if allocation_nodes < 1:
+        raise ValueError(f"allocation_nodes must be >= 1, got {allocation_nodes}")
+    # factor the allocation into a 5-D near-cubic torus
+    dims = _balanced_dims(allocation_nodes, ndims=5)
+    topo = Torus(dims)
+    kernels = {
+        "cmtbone_timestep": KernelTruth(
+            _cmtbone_truth, cv=0.08, outlier_p=0.04, outlier_scale=1.4
+        ),
+    }
+    return VirtualMachine(
+        name="vulcan",
+        nnodes=topo.num_nodes,
+        cores_per_node=16,
+        topology=topo,
+        kernels=kernels,
+        ranks_per_node=ranks_per_node,
+    )
+
+
+def _balanced_dims(n: int, ndims: int = 5) -> tuple[int, ...]:
+    """Factor *n* into *ndims* near-equal factors (>= the target size).
+
+    Rounds the allocation up to the next factorisable size so the torus
+    holds at least *n* nodes.
+    """
+    if n < 1 or ndims < 1:
+        raise ValueError("n and ndims must be >= 1")
+    # greedy: repeatedly take the ceiling root
+    dims = []
+    remaining = n
+    for i in range(ndims, 0, -1):
+        d = max(1, math.ceil(remaining ** (1.0 / i)))
+        dims.append(d)
+        remaining = max(1, math.ceil(remaining / d))
+    return tuple(sorted(dims, reverse=True))

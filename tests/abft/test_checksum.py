@@ -1,0 +1,137 @@
+"""ABFT checksum matmul: detection and correction of injected corruption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft import (
+    ABFTError,
+    abft_matmul,
+    abft_overhead_ratio,
+    encode_columns,
+    encode_rows,
+    sdc_outcome_probabilities,
+    verify_and_correct,
+)
+
+
+def rand(m, n, seed=0):
+    return np.random.default_rng(seed).uniform(-10, 10, size=(m, n))
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def test_encodings_append_sums():
+    a = rand(3, 4)
+    ac = encode_rows(a)
+    assert ac.shape == (4, 4)
+    np.testing.assert_allclose(ac[-1], a.sum(axis=0))
+    b = rand(4, 5)
+    br = encode_columns(b)
+    assert br.shape == (4, 6)
+    np.testing.assert_allclose(br[:, -1], b.sum(axis=1))
+
+
+def test_encoding_validation():
+    with pytest.raises(ValueError):
+        encode_rows(np.zeros(3))
+    with pytest.raises(ValueError):
+        abft_matmul(rand(2, 3), rand(4, 2))
+
+
+# -- clean products --------------------------------------------------------------
+
+
+def test_clean_product_verifies():
+    a, b = rand(5, 4, 1), rand(4, 6, 2)
+    c = abft_matmul(a, b)
+    payload, corrected = verify_and_correct(c)
+    assert corrected is None
+    np.testing.assert_allclose(payload, a @ b, rtol=1e-12)
+
+
+def test_payload_shape():
+    c = abft_matmul(rand(3, 3), rand(3, 7))
+    assert c.payload.shape == (3, 7)
+    assert c.data.shape == (4, 8)
+
+
+# -- corruption ---------------------------------------------------------------------
+
+
+def test_single_payload_corruption_corrected():
+    a, b = rand(6, 5, 3), rand(5, 6, 4)
+    c = abft_matmul(a, b)
+    c.data[2, 3] += 7.5  # silent corruption
+    payload, corrected = verify_and_correct(c)
+    assert corrected == (2, 3)
+    np.testing.assert_allclose(payload, a @ b, rtol=1e-9)
+
+
+def test_checksum_element_corruption_payload_intact():
+    a, b = rand(4, 4, 5), rand(4, 4, 6)
+    c = abft_matmul(a, b)
+    c.data[1, -1] += 3.0  # hit the row checksum itself
+    payload, corrected = verify_and_correct(c)
+    assert corrected == (1, c.data.shape[1] - 1)
+    np.testing.assert_allclose(payload, a @ b, rtol=1e-12)
+
+
+def test_double_corruption_detected_not_corrected():
+    a, b = rand(5, 5, 7), rand(5, 5, 8)
+    c = abft_matmul(a, b)
+    c.data[0, 0] += 1.0
+    c.data[2, 3] += 1.0
+    with pytest.raises(ABFTError):
+        verify_and_correct(c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=8),
+    k=st.integers(min_value=2, max_value=8),
+    n=st.integers(min_value=2, max_value=8),
+    i=st.integers(min_value=0, max_value=100),
+    j=st.integers(min_value=0, max_value=100),
+    delta=st.floats(min_value=0.5, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_any_single_corruption_corrected(m, k, n, i, j, delta, seed):
+    a, b = rand(m, k, seed), rand(k, n, seed + 1)
+    c = abft_matmul(a, b)
+    c.data[i % m, j % n] += delta
+    payload, corrected = verify_and_correct(c)
+    assert corrected == (i % m, j % n)
+    np.testing.assert_allclose(payload, a @ b, rtol=1e-7, atol=1e-9)
+
+
+# -- cost model --------------------------------------------------------------------------
+
+
+def test_overhead_shrinks_with_size():
+    assert abft_overhead_ratio(10) > abft_overhead_ratio(100) > abft_overhead_ratio(1000)
+    # asymptotic for square matrices: 1/m + 1/n from the extra row/column
+    # plus ~2/n from encoding + verification => ~4/n
+    assert abft_overhead_ratio(1000) == pytest.approx(4 / 1000, rel=0.1)
+
+
+def test_overhead_validation():
+    with pytest.raises(ValueError):
+        abft_overhead_ratio(0)
+    with pytest.raises(ValueError):
+        abft_overhead_ratio(4, k=0)
+
+
+def test_sdc_probabilities():
+    out = sdc_outcome_probabilities(0.01, job_hours=100, abft_coverage=0.95)
+    assert out["p_bad_plain"] == pytest.approx(1 - np.exp(-1.0))
+    assert out["p_bad_abft"] < out["p_bad_plain"]
+    assert out["p_bad_abft"] == pytest.approx(1 - np.exp(-0.05))
+    # full coverage removes the risk
+    assert sdc_outcome_probabilities(0.01, 100, 1.0)["p_bad_abft"] == 0.0
+    with pytest.raises(ValueError):
+        sdc_outcome_probabilities(-1, 1)
+    with pytest.raises(ValueError):
+        sdc_outcome_probabilities(1, 1, abft_coverage=2)

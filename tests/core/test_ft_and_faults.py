@@ -1,0 +1,206 @@
+"""FT scenarios and fault injection (Cases 1-4 of Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AppBEO,
+    ArchBEO,
+    BESSTSimulator,
+    Checkpoint,
+    Collective,
+    Compute,
+    FaultInjector,
+    FaultModel,
+    NO_FT,
+    scenario_l1,
+    scenario_l1_l2,
+)
+from repro.core.ft import FTScenario, scenario_levels
+from repro.models import ConstantModel
+from repro.network import FullyConnected
+
+
+# -- FTScenario ----------------------------------------------------------------
+
+
+def test_no_ft_scenario():
+    assert not NO_FT.is_ft_aware
+    assert NO_FT.checkpoints_due(40) == []
+    assert NO_FT.checkpoint_count(200, 1) == 0
+
+
+def test_scenario_l1_periodic():
+    s = scenario_l1(40)
+    assert s.is_ft_aware
+    assert s.checkpoints_due(40) == [1]
+    assert s.checkpoints_due(39) == []
+    assert s.checkpoint_count(200, 1) == 5
+    assert s.checkpoint_count(200, 2) == 0
+
+
+def test_scenario_l1_l2():
+    s = scenario_l1_l2(40)
+    assert s.checkpoints_due(80) == [1, 2]
+    assert s.checkpoint_count(200, 2) == 5
+    assert s.kernel_for(2) == "fti_l2"
+
+
+def test_scenario_levels_builder():
+    s = scenario_levels([3, 4], period=10)
+    assert s.name == "l3+l4"
+    assert s.checkpoints_due(10) == [3, 4]
+    assert scenario_levels([]).name == "no_ft"
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        FTScenario("bad", ((5, 10),))
+    with pytest.raises(ValueError):
+        FTScenario("bad", ((1, 0),))
+    with pytest.raises(ValueError):
+        scenario_l1(40).checkpoints_due(0)
+
+
+# -- FaultModel ------------------------------------------------------------------
+
+
+def test_fault_model_validation():
+    with pytest.raises(ValueError):
+        FaultModel(node_mtbf_s=0)
+    with pytest.raises(ValueError):
+        FaultModel(node_mtbf_s=1, distribution="uniform")
+    with pytest.raises(ValueError):
+        FaultModel(node_mtbf_s=1, weibull_shape=0)
+
+
+def test_system_mtbf_scales_inversely():
+    m = FaultModel(node_mtbf_s=1000.0)
+    assert m.system_mtbf(1) == 1000.0
+    assert m.system_mtbf(10) == 100.0
+    with pytest.raises(ValueError):
+        m.system_mtbf(0)
+
+
+@pytest.mark.parametrize("dist", ["exponential", "weibull"])
+def test_interarrival_mean_matches_mtbf(dist):
+    m = FaultModel(node_mtbf_s=50.0, distribution=dist)
+    rng = np.random.default_rng(0)
+    draws = [m.draw_interarrival(rng, nnodes=5) for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(10.0, rel=0.1)
+
+
+# -- fault injection into the simulator ----------------------------------------------
+
+
+def ft_app(n_steps=20, scenario=NO_FT):
+    def builder(rank, nranks, params):
+        body = []
+        for ts in range(1, n_steps + 1):
+            body.append(Compute.of("k"))
+            body.append(Collective("allreduce", nbytes=8))
+            for level in scenario.checkpoints_due(ts):
+                body.append(Checkpoint.of(level, "ckpt"))
+        return body
+
+    return AppBEO(f"ft_{scenario.name}", builder)
+
+
+def make_arch():
+    arch = ArchBEO("m", topology=FullyConnected(8), cores_per_node=2)
+    arch.bind("k", ConstantModel(0.1))
+    arch.bind("ckpt", ConstantModel(0.05))
+    arch.recovery_time_s = 0.2
+    return arch
+
+
+def run_with_faults(scenario, mtbf, seed=0, n_steps=20):
+    arch = make_arch()
+    fi = FaultInjector(FaultModel(node_mtbf_s=mtbf), nnodes=4, seed=seed)
+    sim = BESSTSimulator(
+        ft_app(n_steps, scenario),
+        arch,
+        nranks=8,
+        seed=seed,
+        fault_injector=fi,
+        monte_carlo=False,
+    )
+    return sim.run(max_events=5_000_000), fi
+
+
+def run_clean(scenario, n_steps=20):
+    return BESSTSimulator(
+        ft_app(n_steps, scenario), make_arch(), nranks=8, monte_carlo=False
+    ).run()
+
+
+def test_case1_no_faults_baseline():
+    res = run_clean(NO_FT)
+    assert res.faults_injected == 0
+    assert res.rollbacks == 0
+
+
+def test_case3_ft_overhead_only():
+    base = run_clean(NO_FT).total_time
+    ft = run_clean(scenario_l1(5))
+    assert ft.total_time > base
+    assert ft.checkpoint_time == pytest.approx(4 * 0.05)
+
+
+def test_case2_faults_without_ft_restart_from_scratch():
+    # MTBF chosen so ~1-2 failures hit a ~2.2s job
+    res, fi = run_with_faults(NO_FT, mtbf=8.0, seed=3)
+    if res.faults_injected:
+        assert res.rollbacks == res.faults_injected
+        # without checkpoints the whole run restarts: wasted >= progress lost
+        assert res.wasted_time > 0
+        base = run_clean(NO_FT).total_time
+        assert res.total_time > base
+
+
+def test_case4_ft_bounds_damage():
+    # force determinism: pick a seed that actually injects faults
+    for seed in range(20):
+        res2, _ = run_with_faults(NO_FT, mtbf=6.0, seed=seed, n_steps=30)
+        res4, _ = run_with_faults(scenario_l1(5), mtbf=6.0, seed=seed, n_steps=30)
+        if res2.faults_injected >= 2 and res4.faults_injected >= 2:
+            # with checkpoints, rollbacks lose at most a period + overhead
+            assert res4.wasted_time < res2.wasted_time
+            return
+    pytest.skip("no seed produced >=2 faults in both cases")
+
+
+def test_fault_injector_detaches_after_completion():
+    res, fi = run_with_faults(NO_FT, mtbf=1e9, seed=0)
+    assert res.faults_injected == 0
+    assert fi._pending is None or fi._pending.cancelled
+
+
+def test_fault_injector_attach_once():
+    fi = FaultInjector(FaultModel(node_mtbf_s=10), nnodes=2)
+    BESSTSimulator(
+        ft_app(1), make_arch(), nranks=8, fault_injector=fi
+    )
+    with pytest.raises(RuntimeError):
+        BESSTSimulator(ft_app(1), make_arch(), nranks=8, fault_injector=fi)
+
+
+def test_fault_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(FaultModel(node_mtbf_s=1), nnodes=0)
+
+
+def test_rollback_restores_consistency():
+    """After a mid-run fault, the run still completes all timesteps and
+    rank finish times stay synchronized."""
+    res, _ = run_with_faults(scenario_l1(5), mtbf=5.0, seed=7, n_steps=30)
+    assert max(res.finish_times) - min(res.finish_times) < 1e-9
+    # the last timestep's allreduce must have executed for every rank
+    assert res.total_time > 30 * 0.1
+
+
+def test_fault_log_records_times():
+    res, fi = run_with_faults(NO_FT, mtbf=4.0, seed=11)
+    assert fi.log.count() == res.faults_injected
+    times = fi.log.times()
+    assert times == sorted(times)

@@ -1,0 +1,89 @@
+"""Chrome-trace export and ASCII Gantt rendering."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AppBEO,
+    ArchBEO,
+    BESSTSimulator,
+    Checkpoint,
+    Collective,
+    Compute,
+    Marker,
+)
+from repro.core.trace import render_gantt, save_chrome_trace, to_chrome_trace
+from repro.models import ConstantModel
+from repro.network import FullyConnected
+
+
+def run_sim(record="rank0"):
+    arch = ArchBEO("m", topology=FullyConnected(4), cores_per_node=2)
+    arch.bind("k", ConstantModel(0.1))
+    arch.bind("ckpt", ConstantModel(0.05))
+
+    def builder(rank, nranks, params):
+        return [
+            Marker("start"),
+            Compute.of("k"),
+            Collective("allreduce", nbytes=8),
+            Checkpoint.of(1, "ckpt"),
+            Compute.of("k"),
+        ]
+
+    app = AppBEO("traced", builder)
+    return BESSTSimulator(app, arch, nranks=2, record_timelines=record).run()
+
+
+def test_chrome_trace_structure():
+    res = run_sim()
+    trace = to_chrome_trace(res)
+    events = trace["traceEvents"]
+    names = {e["name"] for e in events}
+    assert "k" in names and "ckpt" in names and "start" in names
+    # duration events carry ts/dur; the checkpoint carries its level
+    ckpt = next(e for e in events if e["name"] == "ckpt")
+    assert ckpt["ph"] == "X" and ckpt["args"]["level"] == 1
+    marker = next(e for e in events if e["name"] == "start")
+    assert marker["ph"] == "i"
+    # thread metadata present for the recorded rank
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta and meta[0]["args"]["name"] == "rank 0"
+
+
+def test_chrome_trace_all_ranks():
+    res = run_sim(record="all")
+    trace = to_chrome_trace(res)
+    tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert tids == {0, 1}
+
+
+def test_chrome_trace_requires_timelines():
+    res = run_sim(record="none")
+    with pytest.raises(ValueError):
+        to_chrome_trace(res)
+
+
+def test_save_chrome_trace(tmp_path):
+    res = run_sim()
+    path = tmp_path / "trace.json"
+    save_chrome_trace(res, path)
+    data = json.loads(path.read_text())
+    assert "traceEvents" in data and len(data["traceEvents"]) > 3
+
+
+def test_gantt_renders_rows():
+    res = run_sim()
+    text = render_gantt(res.timelines[0], width=40)
+    assert "compute" in text and "checkpoint" in text
+    assert "#" in text and "C" in text
+
+
+def test_gantt_validation_and_edges():
+    res = run_sim()
+    with pytest.raises(ValueError):
+        render_gantt(res.timelines[0], width=5)
+    from repro.core.simulator import RankTimeline
+
+    assert render_gantt(RankTimeline(0)) == "(empty timeline)"

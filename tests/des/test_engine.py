@@ -1,0 +1,236 @@
+"""Unit tests for the sequential engine, components, links and clocks."""
+
+import pytest
+
+from repro.des import Clock, Component, Engine, Link, SimulationError
+from repro.des.link import connect
+
+
+class Recorder(Component):
+    """Collects (time, port, payload) for every event it receives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+        self.setup_called = False
+        self.finish_called = False
+
+    def setup(self):
+        self.setup_called = True
+
+    def finish(self):
+        self.finish_called = True
+
+    def handle_event(self, port_name, payload, time):
+        self.received.append((time, port_name, payload))
+
+
+class Pinger(Component):
+    """Sends `count` pings out of port 'out', spaced by `gap` seconds."""
+
+    def __init__(self, name, count, gap=1.0):
+        super().__init__(name)
+        self.count = count
+        self.gap = gap
+
+    def setup(self):
+        for i in range(self.count):
+            self.schedule(i * self.gap, self._fire, payload=i)
+
+    def _fire(self, ev):
+        self.send("out", ev.payload)
+
+    def handle_event(self, port_name, payload, time):
+        pass
+
+
+def test_register_and_run_empty():
+    eng = Engine()
+    eng.register(Recorder("r"))
+    assert eng.run() == 0.0
+    assert eng.components["r"].finish_called
+
+
+def test_duplicate_name_rejected():
+    eng = Engine()
+    eng.register(Recorder("x"))
+    with pytest.raises(SimulationError):
+        eng.register(Recorder("x"))
+
+
+def test_component_cannot_join_two_engines():
+    c = Recorder("c")
+    Engine().register(c)
+    with pytest.raises(SimulationError):
+        Engine().register(c)
+
+
+def test_self_schedule_advances_clock():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    marks = []
+    r.engine = eng  # already set by register; keep explicit for clarity
+    eng.schedule(5.0, lambda ev: marks.append(eng.now))
+    assert eng.run() == 5.0
+    assert marks == [5.0]
+
+
+def test_link_delivers_with_latency():
+    eng = Engine()
+    src = eng.register(Pinger("src", count=3, gap=1.0))
+    dst = eng.register(Recorder("dst"))
+    connect(src, "out", dst, "in", latency=0.25)
+    eng.run()
+    assert dst.received == [(0.25, "in", 0), (1.25, "in", 1), (2.25, "in", 2)]
+
+
+def test_link_requires_positive_latency():
+    eng = Engine()
+    a = eng.register(Recorder("a"))
+    b = eng.register(Recorder("b"))
+    with pytest.raises(ValueError):
+        Link(a.port("x"), b.port("y"), latency=0.0)
+
+
+def test_port_single_link():
+    eng = Engine()
+    a = eng.register(Recorder("a"))
+    b = eng.register(Recorder("b"))
+    c = eng.register(Recorder("c"))
+    connect(a, "p", b, "p", latency=1.0)
+    with pytest.raises(ValueError):
+        connect(a, "p", c, "p", latency=1.0)
+
+
+def test_cross_engine_link_rejected():
+    e1, e2 = Engine(), Engine()
+    a = e1.register(Recorder("a"))
+    b = e2.register(Recorder("b"))
+    with pytest.raises(ValueError):
+        connect(a, "p", b, "p", latency=1.0)
+
+
+def test_send_on_unconnected_port_raises():
+    eng = Engine()
+    a = eng.register(Recorder("a"))
+    with pytest.raises(RuntimeError):
+        a.send("nowhere", 42)
+
+
+def test_run_until_pauses_and_resumes():
+    eng = Engine()
+    src = eng.register(Pinger("src", count=5, gap=1.0))
+    dst = eng.register(Recorder("dst"))
+    connect(src, "out", dst, "in", latency=0.5)
+    eng.run(until=2.0)
+    assert len(dst.received) == 2  # arrivals at 0.5, 1.5
+    assert eng.now == 2.0
+    eng.run()
+    assert len(dst.received) == 5
+
+
+def test_event_at_exact_until_horizon_fires():
+    eng = Engine()
+    hits = []
+    eng.schedule(2.0, lambda ev: hits.append(eng.now))
+    eng.run(until=2.0)
+    assert hits == [2.0]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    with pytest.raises(ValueError):
+        r.schedule(-1.0, lambda ev: None)
+
+
+def test_past_event_rejected():
+    from repro.des.event import Event
+
+    eng = Engine()
+    eng.schedule(1.0, lambda ev: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_event(Event(time=0.5, handler=lambda ev: None))
+
+
+def test_max_events_guard():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+
+    def loop(ev):
+        r.schedule(0.0, loop)
+
+    r.engine.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=100)
+
+
+def test_cancel_via_engine():
+    eng = Engine()
+    hits = []
+    ev = eng.schedule(1.0, lambda e: hits.append(1))
+    eng.cancel(ev)
+    eng.run()
+    assert hits == [] and len(eng.queue) == 0
+
+
+def test_rng_streams_independent_and_deterministic():
+    def draw(seed):
+        eng = Engine(seed=seed)
+        a = eng.register(Recorder("a"))
+        b = eng.register(Recorder("b"))
+        return a.rng.random(3).tolist(), b.rng.random(3).tolist()
+
+    a1, b1 = draw(7)
+    a2, b2 = draw(7)
+    a3, _ = draw(8)
+    assert a1 == a2 and b1 == b2
+    assert a1 != b1
+    assert a1 != a3
+
+
+def test_clock_ticks_and_stops():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    ticks = []
+
+    def on_tick(cycle, time):
+        ticks.append((cycle, time))
+        return cycle >= 3  # stop after 3 ticks
+
+    Clock(r, period=2.0, handler=on_tick)
+    eng.run()
+    assert ticks == [(1, 2.0), (2, 4.0), (3, 6.0)]
+
+
+def test_clock_stop_cancels_pending():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    ticks = []
+    clk = Clock(r, period=1.0, handler=lambda c, t: ticks.append(c))
+    eng.schedule(2.5, lambda ev: clk.stop())
+    eng.run()
+    assert ticks == [1, 2]
+
+
+def test_clock_custom_start_delay():
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    ticks = []
+    Clock(r, period=1.0, start_delay=0.0,
+          handler=lambda c, t: ticks.append(t) or (c >= 2))
+    eng.run()
+    assert ticks == [0.0, 1.0]
+
+
+def test_events_fired_counter_and_trace():
+    eng = Engine(trace=True)
+    src = eng.register(Pinger("src", count=2, gap=1.0))
+    dst = eng.register(Recorder("dst"))
+    connect(src, "out", dst, "in", latency=0.1)
+    eng.run()
+    assert eng.events_fired == 4  # 2 self fires + 2 deliveries
+    assert len(eng.trace_log) == 4
+    times = [t[0] for t in eng.trace_log]
+    assert times == sorted(times)

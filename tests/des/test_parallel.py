@@ -1,0 +1,223 @@
+"""Parallel engine: partitioning and sequential-equivalence tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Component, Engine, ParallelEngine, SimulationError
+from repro.des.link import connect
+from repro.des.partition import cut_statistics, partition_components
+
+
+class RingNode(Component):
+    """Passes a token around a ring `laps` times, recording visits."""
+
+    def __init__(self, name, laps):
+        super().__init__(name)
+        self.laps = laps
+        self.visits = []
+
+    def start(self):
+        self.send("next", {"lap": 0})
+
+    def handle_event(self, port_name, payload, time):
+        self.visits.append(round(time, 12))
+        lap = payload["lap"]
+        if port_name == "prev":
+            if self.name.endswith("_0"):
+                lap += 1
+            if lap < self.laps:
+                self.send("next", {"lap": lap})
+
+
+class NoisyWorker(Component):
+    """Does random-length 'work' bursts and reports to a sink."""
+
+    def __init__(self, name, bursts):
+        super().__init__(name)
+        self.bursts = bursts
+        self.total = 0.0
+
+    def setup(self):
+        self.schedule(0.0, self._work, payload=self.bursts)
+
+    def _work(self, ev):
+        remaining = ev.payload
+        if remaining <= 0:
+            return
+        dt = float(self.rng.exponential(1.0)) + 1e-6
+        self.total += dt
+        self.send("out", {"dt": dt})
+        self.schedule(dt, self._work, payload=remaining - 1)
+
+    def handle_event(self, port_name, payload, time):
+        pass
+
+
+class Sink(Component):
+    def __init__(self, name):
+        super().__init__(name)
+        self.log = []
+
+    def handle_event(self, port_name, payload, time):
+        self.log.append((round(time, 12), port_name, payload["dt"]))
+
+
+def build_ring(engine, n=8, laps=3, latency=0.5):
+    nodes = [engine.register(RingNode(f"n_{i}", laps)) for i in range(n)]
+    for i in range(n):
+        connect(nodes[i], "next", nodes[(i + 1) % n], "prev", latency=latency)
+    nodes[0].engine.schedule(0.0, lambda ev: nodes[0].start())
+    return nodes
+
+
+def build_workers(engine, n=6, bursts=10, latency=0.25):
+    sink = engine.register(Sink("sink"))
+    for i in range(n):
+        w = engine.register(NoisyWorker(f"w_{i}", bursts))
+        connect(w, "out", sink, f"in_{i}", latency=latency)
+    return sink
+
+
+def test_ring_sequential_vs_parallel():
+    seq = Engine(seed=3)
+    nodes_s = build_ring(seq, n=8, laps=3)
+    seq.run()
+
+    for nparts in (1, 2, 3, 8):
+        par = ParallelEngine(nparts=nparts, seed=3)
+        nodes_p = build_ring(par, n=8, laps=3)
+        par.run()
+        for a, b in zip(nodes_s, nodes_p):
+            assert a.visits == b.visits, f"nparts={nparts}"
+
+
+def test_noisy_workers_equivalence():
+    seq = Engine(seed=11)
+    sink_s = build_workers(seq)
+    seq.run()
+
+    par = ParallelEngine(nparts=4, seed=11)
+    sink_p = build_workers(par)
+    par.run()
+
+    # Cross-partition tie order may differ; compare as multisets.
+    assert sorted(sink_s.log) == sorted(sink_p.log)
+    assert seq.events_fired == par.events_fired
+
+
+def test_parallel_executes_multiple_windows():
+    par = ParallelEngine(nparts=2, seed=0)
+    build_ring(par, n=4, laps=5, latency=0.5)
+    par.run()
+    assert par.windows_executed > 1
+    assert par.lookahead == 0.5
+
+
+def test_lookahead_infinite_without_cross_links():
+    par = ParallelEngine(nparts=2, seed=0, assignment={"w_0": 0, "w_1": 0, "sink": 0})
+    sink = par.register(Sink("sink"))
+    w0 = par.register(NoisyWorker("w_0", 3))
+    w1 = par.register(NoisyWorker("w_1", 3))
+    connect(w0, "out", sink, "in_0", latency=0.1)
+    connect(w1, "out", sink, "in_1", latency=0.1)
+    par.run()
+    assert par.lookahead == float("inf")
+    assert len(sink.log) == 6
+
+
+def test_explicit_assignment_used():
+    par = ParallelEngine(nparts=2, assignment={"n_0": 0, "n_1": 1, "n_2": 0, "n_3": 1})
+    build_ring(par, n=4, laps=2)
+    par.run()
+    assert par.lookahead == 0.5
+
+
+def test_run_until_matches_sequential():
+    seq = Engine(seed=5)
+    sink_s = build_workers(seq, n=4, bursts=6)
+    seq.run(until=3.0)
+
+    par = ParallelEngine(nparts=2, seed=5)
+    sink_p = build_workers(par, n=4, bursts=6)
+    par.run(until=3.0)
+
+    assert sorted(sink_s.log) == sorted(sink_p.log)
+    assert seq.now == par.now == 3.0
+
+
+def test_invalid_nparts():
+    with pytest.raises(SimulationError):
+        ParallelEngine(nparts=0)
+
+
+# -- partitioning ------------------------------------------------------------
+
+
+def test_block_partition_contiguous_and_balanced():
+    names = [f"c{i:02d}" for i in range(10)]
+    assign = partition_components(names, 3, method="block")
+    sizes = [list(assign.values()).count(p) for p in range(3)]
+    assert sorted(sizes) == [3, 3, 4]
+    # contiguity in sorted order
+    seen = [assign[n] for n in sorted(names)]
+    assert seen == sorted(seen)
+
+
+def test_round_robin_partition():
+    assign = partition_components(["a", "b", "c", "d"], 2, method="round_robin")
+    assert assign == {"a": 0, "b": 1, "c": 0, "d": 1}
+
+
+def test_more_parts_than_names_clamped():
+    assign = partition_components(["a", "b"], 5, method="block")
+    assert set(assign.values()) <= {0, 1}
+
+
+def test_graph_partition_cuts_few_edges():
+    # Two cliques joined by one bridge: graph partitioning should cut ~1 edge.
+    edges = []
+    for grp, names in enumerate([["a0", "a1", "a2", "a3"], ["b0", "b1", "b2", "b3"]]):
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                edges.append((names[i], names[j], 1.0))
+    edges.append(("a0", "b0", 1.0))
+    names = [f"{g}{i}" for g in "ab" for i in range(4)]
+    assign = partition_components(names, 2, edges=edges, method="graph")
+    stats = cut_statistics(assign, edges)
+    assert stats["cut_links"] <= 2
+    assert sorted(stats["partition_sizes"]) == [4, 4]
+
+
+def test_graph_partition_requires_edges():
+    with pytest.raises(ValueError):
+        partition_components(["a", "b"], 2, method="graph")
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        partition_components(["a"], 1, method="zigzag")
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    nparts=st.integers(min_value=1, max_value=8),
+    method=st.sampled_from(["block", "round_robin"]),
+)
+def test_partition_covers_all_names(n, nparts, method):
+    names = [f"x{i}" for i in range(n)]
+    assign = partition_components(names, nparts, method=method)
+    assert set(assign) == set(names)
+    assert all(0 <= p < min(nparts, n) for p in assign.values())
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(min_value=0, max_value=1000), nparts=st.integers(min_value=1, max_value=5))
+def test_equivalence_property(seed, nparts):
+    seq = Engine(seed=seed)
+    sink_s = build_workers(seq, n=5, bursts=4)
+    seq.run()
+    par = ParallelEngine(nparts=nparts, seed=seed)
+    sink_p = build_workers(par, n=5, bursts=4)
+    par.run()
+    assert sorted(sink_s.log) == sorted(sink_p.log)

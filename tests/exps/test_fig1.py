@@ -1,0 +1,46 @@
+"""Fig. 1 driver: CMT-bone on Vulcan (light configuration)."""
+
+import pytest
+
+from repro.exps.fig1 import Fig1Point, cmtbone_dse, format_fig1
+
+
+@pytest.fixture(scope="module")
+def points():
+    return cmtbone_dse(
+        elem_sizes=(5, 10),
+        validate_ranks=(16, 128),
+        predict_ranks=(4096,),
+        elements=16,
+        reps=3,
+        seed=0,
+    )
+
+
+def test_point_counts(points):
+    # 2 elem sizes x (2 validation + 1 prediction)
+    assert len(points) == 6
+    preds = [p for p in points if p.is_prediction]
+    assert len(preds) == 2
+    assert all(p.ranks == 4096 for p in preds)
+
+
+def test_validation_errors_bounded(points):
+    errs = [p.percent_error for p in points if p.percent_error is not None]
+    assert errs and all(e < 60.0 for e in errs)
+
+
+def test_bigger_elements_cost_more(points):
+    by = {(p.elem_size, p.ranks): p.predicted_mean for p in points}
+    assert by[(10, 128)] > by[(5, 128)]
+
+
+def test_distributions_have_spread(points):
+    measured = [p for p in points if not p.is_prediction]
+    assert all(p.measured_std > 0 for p in measured)
+    assert all(p.predicted_std >= 0 for p in measured)
+
+
+def test_format(points):
+    text = format_fig1(points)
+    assert "Vulcan" in text and "MAPE" in text

@@ -1,0 +1,44 @@
+"""Report generator (fast sections only)."""
+
+from pathlib import Path
+
+from repro.exps.report import _SECTIONS, generate_report
+
+
+def test_sections_cover_all_artifacts():
+    ids = [s for s, _, _ in _SECTIONS]
+    for required in (
+        "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "table3", "table4", "ext1", "ext2", "ext3", "ext4",
+        "abl1", "abl2", "abl3", "abl4",
+    ):
+        assert required in ids
+
+
+def test_generate_report_subset(tmp_path):
+    out = tmp_path / "report.md"
+    text = generate_report(
+        out_path=str(out), sections=["abl3", "abl4"], echo=False
+    )
+    assert out.read_text() == text
+    assert "# EXPERIMENTS" in text
+    assert "ABL3" in text and "ABL4" in text
+    assert "fig7" not in text.split("## ")[0]  # header only mentions settings
+    # skipped sections are absent
+    assert "Table III" not in text
+
+
+def test_generate_report_survives_failures(monkeypatch, tmp_path):
+    import repro.exps.report as report_mod
+
+    def boom(section, seed, reps):
+        def inner():
+            raise RuntimeError("kaput")
+
+        return inner
+
+    monkeypatch.setattr(report_mod, "_runner", boom)
+    text = generate_report(
+        out_path=None, sections=["abl3"], echo=False
+    )
+    assert "FAILED: kaput" in text

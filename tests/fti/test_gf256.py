@@ -1,0 +1,135 @@
+"""Field-axiom and linear-algebra tests for GF(256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fti import GF256
+
+byte = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(byte, byte)
+def test_add_commutative_and_self_inverse(a, b):
+    assert GF256.add(a, b) == GF256.add(b, a)
+    assert GF256.add(a, a) == 0
+    assert GF256.sub(a, b) == GF256.add(a, b)
+
+
+@given(byte, byte, byte)
+def test_mul_commutative_associative(a, b, c):
+    assert GF256.mul(a, b) == GF256.mul(b, a)
+    assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+
+@given(byte, byte, byte)
+def test_distributive(a, b, c):
+    left = GF256.mul(a, GF256.add(b, c))
+    right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+    assert left == right
+
+
+@given(byte)
+def test_mul_identity_and_zero(a):
+    assert GF256.mul(a, 1) == a
+    assert GF256.mul(a, 0) == 0
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert GF256.mul(a, GF256.inv(a)) == 1
+    assert GF256.div(1, a) == GF256.inv(a)
+
+
+@given(nonzero, nonzero)
+def test_div_is_mul_by_inverse(a, b):
+    assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+
+def test_zero_division_rejected():
+    with pytest.raises(ZeroDivisionError):
+        GF256.div(3, 0)
+    with pytest.raises(ZeroDivisionError):
+        GF256.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        GF256.pow(0, -1)
+
+
+@given(nonzero, st.integers(min_value=-10, max_value=10))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    base = a if n >= 0 else GF256.inv(a)
+    for _ in range(abs(n)):
+        expected = GF256.mul(expected, base)
+    assert GF256.pow(a, n) == expected
+
+
+def test_pow_of_zero():
+    assert GF256.pow(0, 0) == 1
+    assert GF256.pow(0, 5) == 0
+
+
+def test_generator_has_full_order():
+    seen = {GF256.exp(i) for i in range(255)}
+    assert len(seen) == 255 and 0 not in seen
+
+
+@given(byte, st.integers(min_value=0, max_value=64))
+def test_mul_block_matches_scalar_mul(scalar, n):
+    rng = np.random.default_rng(0)
+    block = rng.integers(0, 256, size=n, dtype=np.uint8)
+    out = GF256.mul_block(scalar, block)
+    for x, y in zip(block.tolist(), out.tolist()):
+        assert GF256.mul(scalar, x) == y
+
+
+def test_addmul_block_inplace():
+    acc = np.array([1, 2, 3], dtype=np.uint8)
+    GF256.addmul_block(acc, 0, np.array([9, 9, 9], dtype=np.uint8))
+    assert acc.tolist() == [1, 2, 3]
+    GF256.addmul_block(acc, 1, np.array([1, 2, 3], dtype=np.uint8))
+    assert acc.tolist() == [0, 0, 0]
+
+
+def test_mat_inv_identity():
+    eye = np.eye(4, dtype=np.uint8)
+    np.testing.assert_array_equal(GF256.mat_inv(eye), eye)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=100))
+def test_mat_inv_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    # Vandermonde over distinct points is always invertible.
+    pts = rng.choice(255, size=n, replace=False) + 1
+    m = np.array(
+        [[GF256.pow(int(p), j) for j in range(n)] for p in pts], dtype=np.uint8
+    )
+    inv = GF256.mat_inv(m)
+    prod = np.zeros((n, n), dtype=np.uint8)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = GF256.add(acc, GF256.mul(int(m[i, k]), int(inv[k, j])))
+            prod[i, j] = acc
+    np.testing.assert_array_equal(prod, np.eye(n, dtype=np.uint8))
+
+
+def test_mat_inv_singular_rejected():
+    m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+    with pytest.raises(np.linalg.LinAlgError):
+        GF256.mat_inv(m)
+
+
+def test_mat_inv_requires_square():
+    with pytest.raises(ValueError):
+        GF256.mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_mat_vec_blocks_shape_check():
+    with pytest.raises(ValueError):
+        GF256.mat_vec_blocks(
+            np.eye(2, dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8)
+        )

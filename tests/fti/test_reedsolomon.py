@@ -1,0 +1,150 @@
+"""Round-trip and erasure-tolerance tests for the RS codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fti import RSDecodeError, ReedSolomonCode
+
+
+def random_shards(k, length, seed=0):
+    rng = np.random.default_rng(seed)
+    return [bytes(rng.integers(0, 256, size=length, dtype=np.uint8)) for _ in range(k)]
+
+
+def test_encode_produces_m_parity():
+    code = ReedSolomonCode(4, 2)
+    parity = code.encode(random_shards(4, 100))
+    assert len(parity) == 2
+    assert all(len(p) == 100 for p in parity)
+
+
+def test_zero_parity_code():
+    code = ReedSolomonCode(3, 0)
+    assert code.encode(random_shards(3, 10)) == []
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        ReedSolomonCode(0, 1)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(200, 100)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(2, -1)
+
+
+def test_encode_wrong_count():
+    code = ReedSolomonCode(3, 1)
+    with pytest.raises(ValueError):
+        code.encode(random_shards(2, 10))
+
+
+def test_decode_wrong_slots():
+    code = ReedSolomonCode(3, 1)
+    with pytest.raises(ValueError):
+        code.decode([b"x"] * 3)
+
+
+def test_roundtrip_no_erasures():
+    code = ReedSolomonCode(4, 2)
+    data = random_shards(4, 64, seed=1)
+    parity = code.encode(data)
+    out = code.decode(list(data) + parity, lengths=[64] * 4)
+    assert out == data
+
+
+def test_roundtrip_with_max_erasures():
+    code = ReedSolomonCode(4, 2)
+    data = random_shards(4, 64, seed=2)
+    parity = code.encode(data)
+    shards = list(data) + parity
+    shards[0] = None
+    shards[3] = None  # two erasures == m
+    out = code.decode(shards, lengths=[64] * 4)
+    assert out == data
+
+
+def test_parity_only_recovery_k_le_m():
+    code = ReedSolomonCode(2, 2)
+    data = random_shards(2, 32, seed=3)
+    parity = code.encode(data)
+    shards = [None, None] + parity
+    out = code.decode(shards, lengths=[32, 32])
+    assert out == data
+
+
+def test_too_many_erasures_raises():
+    code = ReedSolomonCode(4, 2)
+    data = random_shards(4, 16, seed=4)
+    shards = list(data) + code.encode(data)
+    for i in (0, 2, 4):
+        shards[i] = None
+    with pytest.raises(RSDecodeError):
+        code.decode(shards)
+
+
+def test_unequal_lengths_padded_and_stripped():
+    code = ReedSolomonCode(3, 2)
+    data = [b"abc", b"defgh", b""]
+    parity = code.encode(data)
+    assert all(len(p) == 5 for p in parity)
+    shards = [None, data[1], None] + parity
+    out = code.decode(shards, lengths=[3, 5, 0])
+    assert out == data
+
+
+def test_k1_code_is_replication():
+    code = ReedSolomonCode(1, 3)
+    data = [b"hello world"]
+    parity = code.encode(data)
+    assert all(p == b"hello world" for p in parity)
+    out = code.decode([None, None, None, parity[2]], lengths=[11])
+    assert out == data
+
+
+def test_decode_without_lengths_keeps_padding():
+    code = ReedSolomonCode(2, 1)
+    data = [b"ab", b"wxyz"]
+    parity = code.encode(data)
+    out = code.decode([None, data[1]] + parity)
+    assert out[0] == b"ab\x00\x00"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=0, max_value=6),
+    length=st.integers(min_value=0, max_value=64),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_roundtrip_property_any_k_surviving(k, m, length, seed):
+    """Decoding from ANY k surviving shards reproduces the data."""
+    rng = np.random.default_rng(seed)
+    code = ReedSolomonCode(k, m)
+    data = [
+        bytes(rng.integers(0, 256, size=length, dtype=np.uint8)) for _ in range(k)
+    ]
+    parity = code.encode(data)
+    shards = list(data) + parity
+    survivors = rng.choice(k + m, size=k, replace=False)
+    pruned = [s if i in survivors else None for i, s in enumerate(shards)]
+    out = code.decode(pruned, lengths=[length] * k)
+    assert out == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_erasing_more_than_m_always_fails(k, seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 4))
+    code = ReedSolomonCode(k, m)
+    data = random_shards(k, 8, seed=seed)
+    shards = list(data) + code.encode(data)
+    kill = rng.choice(k + m, size=m + 1, replace=False)
+    pruned = [s if i not in kill else None for i, s in enumerate(shards)]
+    with pytest.raises(RSDecodeError):
+        code.decode(pruned)

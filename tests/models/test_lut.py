@@ -1,0 +1,159 @@
+"""Unit tests for LookupTableModel interpolation behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import BenchmarkDataset, LookupTableModel
+
+
+def linear_dataset(noise=0.0, seed=0):
+    """Full 2-D grid of f(x, y) = 2x + 3y (+ optional noise)."""
+    rng = np.random.default_rng(seed)
+    ds = BenchmarkDataset(("x", "y"), kernel="lin")
+    for x in (0.0, 1.0, 2.0, 3.0):
+        for y in (0.0, 10.0, 20.0):
+            base = 2 * x + 3 * y
+            for _ in range(5):
+                ds.add_sample(
+                    {"x": x, "y": y}, max(base + rng.normal(0, noise) + 1.0, 1e-3)
+                )
+    return ds
+
+
+def test_empty_dataset_rejected():
+    with pytest.raises(ValueError):
+        LookupTableModel(BenchmarkDataset(("x",)))
+
+
+def test_invalid_options_rejected():
+    ds = linear_dataset()
+    for kw in (
+        {"interpolation": "cubic"},
+        {"sample_mode": "mode"},
+        {"extrapolation": "wrap"},
+        {"noise": "additive"},
+    ):
+        with pytest.raises(ValueError):
+            LookupTableModel(ds, **kw)
+
+
+def test_exact_hit_mean_mode():
+    ds = linear_dataset()
+    m = LookupTableModel(ds, sample_mode="mean")
+    assert m.predict({"x": 1.0, "y": 10.0}) == pytest.approx(33.0)
+
+
+def test_exact_hit_draw_mode_samples_from_table():
+    ds = linear_dataset(noise=0.5, seed=3)
+    m = LookupTableModel(ds, sample_mode="draw")
+    rng = np.random.default_rng(0)
+    table = set(ds.samples({"x": 2.0, "y": 20.0}).tolist())
+    draws = {m.predict({"x": 2.0, "y": 20.0}, rng) for _ in range(50)}
+    assert draws <= table
+    assert len(draws) > 1  # actually stochastic
+
+
+def test_draw_without_rng_falls_back_to_mean():
+    ds = linear_dataset(noise=0.5, seed=4)
+    m = LookupTableModel(ds, sample_mode="draw")
+    assert m.predict({"x": 2.0, "y": 20.0}) == pytest.approx(
+        ds.mean({"x": 2.0, "y": 20.0})
+    )
+
+
+def test_median_mode():
+    ds = BenchmarkDataset(("x",))
+    ds.add_samples({"x": 1}, [1.0, 2.0, 100.0])
+    m = LookupTableModel(ds, sample_mode="median")
+    assert m.predict({"x": 1}) == 2.0
+
+
+def test_multilinear_interpolates_exactly_on_linear_function():
+    m = LookupTableModel(linear_dataset(), sample_mode="mean")
+    # interior, off-grid point of the linear surface
+    assert m.predict({"x": 1.5, "y": 15.0}) == pytest.approx(
+        2 * 1.5 + 3 * 15.0 + 1.0
+    )
+
+
+def test_multilinear_extrapolates_linearly():
+    m = LookupTableModel(linear_dataset(), sample_mode="mean", extrapolation="linear")
+    assert m.predict({"x": 5.0, "y": 30.0}) == pytest.approx(2 * 5 + 3 * 30 + 1.0)
+
+
+def test_clamp_extrapolation_holds_edges():
+    m = LookupTableModel(linear_dataset(), sample_mode="mean", extrapolation="clamp")
+    assert m.predict({"x": 99.0, "y": 20.0}) == pytest.approx(2 * 3 + 3 * 20 + 1.0)
+
+
+def test_nearest_interpolation():
+    m = LookupTableModel(linear_dataset(), interpolation="nearest", sample_mode="mean")
+    assert m.predict({"x": 0.9, "y": 1.0}) == pytest.approx(2 * 1 + 3 * 0 + 1.0)
+
+
+def test_idw_between_points_is_bounded():
+    m = LookupTableModel(linear_dataset(), interpolation="idw", sample_mode="mean")
+    v = m.predict({"x": 1.5, "y": 15.0})
+    means = [2 * x + 3 * y + 1 for x in (0, 1, 2, 3) for y in (0, 10, 20)]
+    assert min(means) <= v <= max(means)
+
+
+def test_sparse_grid_falls_back_to_idw():
+    ds = BenchmarkDataset(("x", "y"))
+    # L-shaped table: corner (1,1) missing
+    ds.add_sample({"x": 0, "y": 0}, 1.0)
+    ds.add_sample({"x": 1, "y": 0}, 2.0)
+    ds.add_sample({"x": 0, "y": 1}, 3.0)
+    m = LookupTableModel(ds, sample_mode="mean")
+    v = m.predict({"x": 0.5, "y": 0.5})
+    assert 1.0 <= v <= 3.0
+
+
+def test_relative_noise_preserves_mean_roughly():
+    ds = linear_dataset(noise=2.0, seed=9)
+    m = LookupTableModel(ds, sample_mode="mean", noise="relative")
+    rng = np.random.default_rng(1)
+    vals = [m.predict({"x": 1.5, "y": 15.0}, rng) for _ in range(300)]
+    clean = LookupTableModel(ds, sample_mode="mean").predict({"x": 1.5, "y": 15.0})
+    assert np.mean(vals) == pytest.approx(clean, rel=0.05)
+    assert np.std(vals) > 0
+
+
+def test_single_value_axis():
+    ds = BenchmarkDataset(("x", "g"))
+    for x in (1.0, 2.0):
+        ds.add_sample({"x": x, "g": 4.0}, 10 * x)
+    m = LookupTableModel(ds, sample_mode="mean")
+    assert m.predict({"x": 1.5, "g": 4.0}) == pytest.approx(15.0)
+
+
+def test_prediction_nonnegative():
+    ds = BenchmarkDataset(("x",))
+    ds.add_sample({"x": 0}, 1.0)
+    ds.add_sample({"x": 1}, 0.0)
+    m = LookupTableModel(ds, sample_mode="mean", extrapolation="linear")
+    assert m.predict({"x": 5}) == 0.0
+
+
+@settings(max_examples=50)
+@given(
+    x=st.floats(min_value=0.0, max_value=3.0),
+    y=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_multilinear_exact_for_linear_surfaces(x, y):
+    m = LookupTableModel(linear_dataset(), sample_mode="mean")
+    assert m.predict({"x": x, "y": y}) == pytest.approx(2 * x + 3 * y + 1.0, abs=1e-9)
+
+
+@settings(max_examples=30)
+@given(
+    x=st.floats(min_value=-2.0, max_value=6.0),
+    y=st.floats(min_value=-5.0, max_value=30.0),
+)
+def test_idw_within_convex_range(x, y):
+    m = LookupTableModel(linear_dataset(), interpolation="idw", sample_mode="mean")
+    v = m.predict({"x": x, "y": y})
+    means = [2 * a + 3 * b + 1 for a in (0, 1, 2, 3) for b in (0, 10, 20)]
+    assert min(means) - 1e-9 <= v <= max(means) + 1e-9

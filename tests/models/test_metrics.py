@@ -1,0 +1,76 @@
+"""Unit tests for validation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models import mae, mape, percent_error, r2_score, rmse
+
+
+def test_mape_basic():
+    assert mape([100, 200], [110, 180]) == pytest.approx((10 + 10) / 2)
+
+
+def test_mape_zero_actual_rejected():
+    with pytest.raises(ZeroDivisionError):
+        mape([0.0, 1.0], [1.0, 1.0])
+
+
+def test_percent_error():
+    assert percent_error(100.0, 117.0) == pytest.approx(17.0)
+    with pytest.raises(ZeroDivisionError):
+        percent_error(0.0, 1.0)
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        mape([1, 2, 3], [1, 2])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        rmse([], [])
+
+
+def test_mae_rmse():
+    assert mae([1, 2], [2, 4]) == pytest.approx(1.5)
+    assert rmse([1, 2], [2, 4]) == pytest.approx(np.sqrt((1 + 4) / 2))
+
+
+def test_r2_perfect_and_mean_predictor():
+    y = [1.0, 2.0, 3.0]
+    assert r2_score(y, y) == pytest.approx(1.0)
+    assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+
+def test_r2_constant_actual():
+    assert r2_score([5, 5], [5, 5]) == 1.0
+    assert r2_score([5, 5], [4, 6]) == float("-inf")
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_perfect_prediction_zero_error(values):
+    assert mape(values, values) == 0.0
+    assert mae(values, values) == 0.0
+    assert rmse(values, values) == 0.0
+
+
+@given(
+    actual=st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=20),
+    scale=st.floats(min_value=1.01, max_value=2.0),
+)
+def test_mape_scale_invariance(actual, scale):
+    """Scaling both vectors leaves MAPE unchanged; scaling predictions by k
+    gives 100*(k-1)."""
+    a = np.array(actual)
+    assert mape(a, a * scale) == pytest.approx(100 * (scale - 1), rel=1e-9)
+    assert mape(a * 7, a * 7 * scale) == pytest.approx(
+        mape(a, a * scale), rel=1e-9
+    )

@@ -1,0 +1,320 @@
+"""Tests for expression trees, the parser and the GP engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import BenchmarkDataset
+from repro.models.symreg import (
+    Binary,
+    Const,
+    Expression,
+    GPConfig,
+    ParseError,
+    SymbolicRegressionModel,
+    SymbolicRegressor,
+    Unary,
+    Var,
+    parse_expression,
+)
+
+
+# -- expression trees ---------------------------------------------------------
+
+
+def test_evaluate_simple():
+    e = Binary("+", Binary("*", Const(2.0), Var("x")), Const(1.0))
+    out = e.evaluate({"x": np.array([0.0, 1.0, 2.0])})
+    assert out.tolist() == [1.0, 3.0, 5.0]
+
+
+def test_protected_division():
+    e = Binary("/", Const(1.0), Var("x"))
+    out = e.evaluate({"x": np.array([0.0, 2.0])})
+    assert np.all(np.isfinite(out))
+    assert out[1] == pytest.approx(0.5)
+
+
+def test_protected_log_sqrt():
+    e = Unary("log", Var("x"))
+    assert np.isfinite(e.evaluate({"x": np.array([0.0, -5.0])})).all()
+    s = Unary("sqrt", Var("x"))
+    assert s.evaluate({"x": np.array([-4.0])})[()] == pytest.approx(2.0)
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(ValueError):
+        Unary("sin", Const(1.0))
+    with pytest.raises(ValueError):
+        Binary("%", Const(1.0), Const(2.0))
+
+
+def test_size_depth_walk():
+    e = Binary("+", Var("x"), Unary("sqrt", Const(4.0)))
+    assert e.size() == 4
+    assert e.depth() == 3
+    assert len(list(e.walk())) == 4
+
+
+def test_copy_is_deep():
+    e = Binary("+", Var("x"), Const(1.0))
+    c = e.copy()
+    assert str(c) == str(e)
+    assert c is not e and c.children()[0] is not e.children()[0]
+
+
+def test_replace_by_preorder_index():
+    e = Binary("+", Var("x"), Const(1.0))
+    r = e.replace(2, Var("y"))  # index 2 is the Const
+    assert str(r) == "(x + y)"
+    r0 = e.replace(0, Const(9.0))
+    assert str(r0) == "9.0"
+
+
+def test_variables_and_constants():
+    e = Binary("*", Var("a"), Binary("+", Const(2.0), Var("b")))
+    assert e.variables() == {"a", "b"}
+    assert e.constants() == [2.0]
+
+
+def test_with_constants_preorder():
+    e = Binary("+", Const(1.0), Binary("*", Const(2.0), Var("x")))
+    e2 = e.with_constants([10.0, 20.0])
+    assert e2.constants() == [10.0, 20.0]
+    assert e.constants() == [1.0, 2.0]  # original untouched
+
+
+def test_simplify_folds_constants():
+    e = Binary("+", Const(2.0), Const(3.0))
+    assert str(e.simplify()) == "5.0"
+    e2 = Binary("*", Const(1.0), Var("x"))
+    assert str(e2.simplify()) == "x"
+    e3 = Binary("*", Const(0.0), Var("x"))
+    assert str(e3.simplify()) == "0.0"
+    e4 = Unary("neg", Unary("neg", Var("x")))
+    assert str(e4.simplify()) == "x"
+
+
+def test_invalid_var_name():
+    with pytest.raises(ValueError):
+        Var("2bad")
+
+
+def test_missing_variable_raises():
+    with pytest.raises(KeyError):
+        Var("x").evaluate({"y": np.array([1.0])})
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def test_parse_round_trip_simple():
+    for text in [
+        "(x + 1)",
+        "((2 * x) - (y / 3))",
+        "sqrt((x * x))",
+        "log(x)",
+        "(-x)",
+        "pow(x, 2)",
+        "min(x, y)",
+        "1e-05",
+        "(x + 1.5e2)",
+    ]:
+        e = parse_expression(text)
+        e2 = parse_expression(str(e))
+        env = {"x": np.array([1.7]), "y": np.array([3.2])}
+        assert e.evaluate(env) == pytest.approx(e2.evaluate(env))
+
+
+def test_parse_precedence():
+    e = parse_expression("1 + 2 * 3")
+    assert float(e.evaluate({})) == 7.0
+    e = parse_expression("(1 + 2) * 3")
+    assert float(e.evaluate({})) == 9.0
+    e = parse_expression("8 - 4 - 2")  # left associative
+    assert float(e.evaluate({})) == 2.0
+
+
+def test_parse_errors():
+    for bad in ["", "x +", "(x", "foo(x)", "sqrt(x, y)", "x $ y", "1 2"]:
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+
+@st.composite
+def random_expr(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Const(draw(st.floats(min_value=-10, max_value=10, allow_nan=False)))
+        return Var(draw(st.sampled_from(["x", "y"])))
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(["sqrt", "log", "neg", "square"]))
+        return Unary(op, draw(random_expr(depth=depth + 1)))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    return Binary(
+        op, draw(random_expr(depth=depth + 1)), draw(random_expr(depth=depth + 1))
+    )
+
+
+@settings(max_examples=60)
+@given(random_expr())
+def test_parser_round_trip_property(e):
+    env = {"x": np.array([0.5, 2.0, -1.0]), "y": np.array([1.0, -3.0, 4.0])}
+    e2 = parse_expression(str(e))
+    np.testing.assert_allclose(
+        np.broadcast_to(e.evaluate(env), (3,)),
+        np.broadcast_to(e2.evaluate(env), (3,)),
+        rtol=1e-12,
+    )
+
+
+# -- GP engine ---------------------------------------------------------------------
+
+
+def quick_config(**kw):
+    defaults = dict(population_size=120, generations=25, parsimony=2e-3)
+    defaults.update(kw)
+    return GPConfig(**defaults)
+
+
+def test_gp_recovers_linear_formula():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(1, 10, size=(40, 2))
+    y = 3.0 * X[:, 0] + X[:, 1]
+    reg = SymbolicRegressor(("a", "b"), config=quick_config(), seed=1)
+    res = reg.fit(X, y)
+    assert res.train_nrmse < 0.05
+    pred = res.expression.evaluate({"a": X[:, 0], "b": X[:, 1]})
+    np.testing.assert_allclose(np.broadcast_to(pred, y.shape), y, rtol=0.2)
+
+
+def test_gp_recovers_product():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(1, 5, size=(50, 2))
+    y = X[:, 0] * X[:, 1]
+    reg = SymbolicRegressor(("a", "b"), config=quick_config(), seed=2)
+    res = reg.fit(X, y)
+    assert res.train_nrmse < 0.05
+
+
+def test_gp_uses_test_split_for_champion():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(1, 10, size=(30, 1))
+    y = 2 * X[:, 0] ** 2
+    Xt = rng.uniform(1, 10, size=(10, 1))
+    yt = 2 * Xt[:, 0] ** 2
+    reg = SymbolicRegressor(("x",), config=quick_config(), seed=3)
+    res = reg.fit(X, y, Xt, yt)
+    assert res.test_nrmse is not None
+    assert res.test_nrmse < 0.1
+
+
+def test_gp_deterministic_given_seed():
+    rng = np.random.default_rng(3)
+    X = rng.uniform(1, 10, size=(20, 1))
+    y = X[:, 0] + 1
+    cfg = quick_config(population_size=60, generations=8)
+    r1 = SymbolicRegressor(("x",), config=cfg, seed=7).fit(X, y)
+    r2 = SymbolicRegressor(("x",), config=cfg, seed=7).fit(X, y)
+    assert str(r1.expression) == str(r2.expression)
+
+
+def test_gp_input_validation():
+    reg = SymbolicRegressor(("x",), config=quick_config())
+    with pytest.raises(ValueError):
+        reg.fit(np.ones((3, 2)), np.ones(3))
+    with pytest.raises(ValueError):
+        reg.fit(np.ones((3, 1)), np.ones(4))
+    with pytest.raises(ValueError):
+        SymbolicRegressor(())
+
+
+def test_gp_config_validation():
+    with pytest.raises(ValueError):
+        GPConfig(p_crossover=0.9, p_subtree_mutation=0.2)
+    with pytest.raises(ValueError):
+        GPConfig(population_size=2)
+
+
+def test_gp_early_stop_on_exact_fit():
+    X = np.arange(1, 11, dtype=float).reshape(-1, 1)
+    y = X[:, 0]
+    cfg = quick_config(generations=100)
+    res = SymbolicRegressor(("x",), config=cfg, seed=0).fit(X, y)
+    assert res.generations_run < 100
+
+
+def test_gp_respects_depth_bound():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(1, 10, size=(25, 2))
+    y = X[:, 0] ** 2 + X[:, 1]
+    cfg = quick_config(max_depth=4, generations=10, n_genes=3)
+    reg = SymbolicRegressor(("a", "b"), config=cfg, seed=5)
+    res = reg.fit(X, y)
+    # combined tree = linear combination of <= n_genes genes, each depth-bounded
+    assert res.expression.depth() <= (cfg.max_depth + 2) + 2 * cfg.n_genes
+
+
+def test_gp_n_genes_validation():
+    with pytest.raises(ValueError):
+        GPConfig(n_genes=0)
+    with pytest.raises(ValueError):
+        GPConfig(fitness="mape")
+
+
+# -- SymbolicRegressionModel ----------------------------------------------------------
+
+
+def test_model_predicts_and_checks_params():
+    m = SymbolicRegressionModel("(2 * x + y)", ("x", "y"))
+    assert m.predict({"x": 3, "y": 4}) == pytest.approx(10.0)
+    from repro.models import ModelError
+
+    with pytest.raises(ModelError):
+        m.predict({"x": 3})
+
+
+def test_model_rejects_unknown_variables():
+    from repro.models import ModelError
+
+    with pytest.raises(ModelError):
+        SymbolicRegressionModel("(x + z)", ("x",))
+
+
+def test_model_noise_draws():
+    m = SymbolicRegressionModel("(10 * x)", ("x",), noise_rel_std=0.1)
+    rng = np.random.default_rng(0)
+    vals = np.array([m.predict({"x": 1}, rng) for _ in range(2000)])
+    assert vals.std() > 0
+    assert vals.mean() == pytest.approx(10.0, rel=0.03)
+    # no rng -> deterministic
+    assert m.predict({"x": 1}) == 10.0
+
+
+def test_model_floor():
+    m = SymbolicRegressionModel("(x - 100)", ("x",), floor=0.5)
+    assert m.predict({"x": 1}) == 0.5
+
+
+def test_model_serialization_roundtrip():
+    m = SymbolicRegressionModel("((2 * x) + sqrt(y))", ("x", "y"), noise_rel_std=0.05)
+    m2 = SymbolicRegressionModel.from_dict(m.to_dict())
+    p = {"x": 2.5, "y": 9.0}
+    assert m2.predict(p) == pytest.approx(m.predict(p))
+    assert m2.noise_rel_std == m.noise_rel_std
+
+
+def test_fit_dataset_end_to_end():
+    rng = np.random.default_rng(8)
+    ds = BenchmarkDataset(("n",), kernel="toy")
+    for n in range(1, 13):
+        for _ in range(3):
+            ds.add_sample({"n": n}, 5.0 * n + rng.normal(0, 0.05))
+    train, test = ds.split(0.25, seed=0)
+    m = SymbolicRegressionModel.fit_dataset(
+        train, test, config=quick_config(), seed=0
+    )
+    for n in (2, 7, 11):
+        assert m.predict({"n": n}) == pytest.approx(5.0 * n, rel=0.15)
+    assert m.noise_rel_std >= 0

@@ -1,0 +1,72 @@
+"""Dragonfly topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.dragonfly import Dragonfly
+from repro.network import LogGPModel
+
+
+def make(n=256, npr=4, rpg=4):
+    return Dragonfly(n, nodes_per_router=npr, routers_per_group=rpg)
+
+
+def test_structure():
+    d = make(256, 4, 4)  # 4 nodes/router, 4 routers/group -> 16 nodes/group
+    assert d.num_routers == 64
+    assert d.num_groups == 16
+    assert d.nodes_per_group == 16
+
+
+def test_hop_counts():
+    d = make(256, 4, 4)
+    assert d.hop_count(0, 0) == 0
+    assert d.hop_count(0, 1) == 2      # same router
+    assert d.hop_count(0, 4) == 3      # same group, different router
+    assert d.hop_count(0, 100) == 5    # different group
+    assert d.diameter() == 5
+
+
+def test_single_group_diameter():
+    d = Dragonfly(8, nodes_per_router=4, routers_per_group=4)
+    assert d.num_groups == 1
+    assert d.diameter() == 3
+    d1 = Dragonfly(4, nodes_per_router=4, routers_per_group=4)
+    assert d1.diameter() == 2
+
+
+def test_neighbors_same_router():
+    d = make(64, 4, 4)
+    assert d.neighbors(0) == [1, 2, 3]
+    assert d.neighbors(5) == [4, 6, 7]
+
+
+def test_oversubscription():
+    d = make(256, 16, 8)
+    assert d.oversubscription == pytest.approx(128 / 8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Dragonfly(10, nodes_per_router=0)
+
+
+def test_loggp_uses_dragonfly_taper():
+    d = make(256, 16, 8)
+    m = LogGPModel(d)
+    assert m.contention_factor == d.oversubscription
+    near = m.p2p_time(0, 1, 10**6)
+    far = m.p2p_time(0, 200, 10**6)
+    assert far > near
+
+
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+def test_hop_metric_properties(a, b):
+    d = make(256, 4, 4)
+    assert d.hop_count(a, b) == d.hop_count(b, a)
+    assert (d.hop_count(a, b) == 0) == (a == b)
+    assert d.hop_count(a, b) in (0, 2, 3, 5)

@@ -1,0 +1,66 @@
+"""CLI smoke tests (fast targets only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for target in ("fig9", "table3", "abl2", "ext2"):
+        assert target in out
+
+
+def test_abl3_runs(capsys):
+    assert main(["abl3"]) == 0
+    assert "Amdahl" in capsys.readouterr().out
+
+
+def test_abl4_runs(capsys):
+    assert main(["abl4"]) == 0
+    out = capsys.readouterr().out
+    assert "identical=True" in out
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fit_and_show_models(tmp_path, capsys, monkeypatch):
+    # shrink the campaign: patch the kernel list to one model
+    import repro.cli as cli_mod
+
+    path = tmp_path / "models.json"
+
+    def tiny_fit(out, seed, all_levels):
+        from repro.core.workflow import ModelDevelopment
+        from repro.models.registry import ModelRegistry
+        from repro.models.symreg import GPConfig
+        from repro.testbed.quartz import make_quartz
+
+        machine = make_quartz()
+        dev = ModelDevelopment(
+            machine,
+            ["lulesh_timestep"],
+            samples_per_point=4,
+            gp_config=GPConfig(population_size=40, generations=4),
+            seed=seed,
+        ).run()
+        reg = ModelRegistry.from_fitted(dev.fitted, machine=machine.name)
+        reg.save(out)
+        return f"saved {len(reg)} models to {out}"
+
+    monkeypatch.setattr(cli_mod, "_fit_models", tiny_fit)
+    assert main(["fit-models", "--out", str(path)]) == 0
+    assert "saved 1 models" in capsys.readouterr().out
+
+    assert main(["show-models", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "lulesh_timestep" in out and "quartz" in out

@@ -1,0 +1,258 @@
+"""Virtual testbed: kernel truths, measurement, full-run ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ft import NO_FT, scenario_l1, scenario_l1_l2
+from repro.network import FullyConnected
+from repro.testbed import (
+    KernelTruth,
+    VirtualMachine,
+    case_study_grid,
+    make_quartz,
+    make_vulcan,
+    measure_application_run,
+    run_benchmark_campaign,
+)
+
+
+def tiny_machine(cv=0.1, outlier_p=0.0):
+    kernels = {
+        "k": KernelTruth(lambda p: 1e-3 * p["n"], cv=cv, outlier_p=outlier_p),
+    }
+    return VirtualMachine(
+        "tiny", nnodes=8, cores_per_node=4, topology=FullyConnected(8),
+        kernels=kernels, ranks_per_node=2,
+    )
+
+
+# -- KernelTruth ------------------------------------------------------------------
+
+
+def test_kernel_truth_validation():
+    with pytest.raises(ValueError):
+        KernelTruth(lambda p: 1.0, cv=-0.1)
+    with pytest.raises(ValueError):
+        KernelTruth(lambda p: 1.0, outlier_p=1.0)
+
+
+def test_kernel_truth_rejects_invalid_mean():
+    t = KernelTruth(lambda p: -1.0)
+    with pytest.raises(ValueError):
+        t.mean({})
+
+
+def test_samples_mean_preserving():
+    t = KernelTruth(lambda p: 2.0, cv=0.3)
+    rng = np.random.default_rng(0)
+    s = t.sample({}, rng, n=20000)
+    assert s.mean() == pytest.approx(2.0, rel=0.02)
+    assert s.std() == pytest.approx(0.6, rel=0.1)
+
+
+def test_outliers_raise_tail():
+    t_clean = KernelTruth(lambda p: 1.0, cv=0.1)
+    t_noisy = KernelTruth(lambda p: 1.0, cv=0.1, outlier_p=0.2, outlier_scale=3.0)
+    rng = np.random.default_rng(1)
+    clean = t_clean.sample({}, rng, 5000)
+    noisy = t_noisy.sample({}, np.random.default_rng(1), 5000)
+    assert np.percentile(noisy, 99) > np.percentile(clean, 99) * 1.5
+
+
+def test_zero_cv_deterministic():
+    t = KernelTruth(lambda p: 0.5, cv=0.0)
+    s = t.sample({}, np.random.default_rng(0), 5)
+    assert np.all(s == 0.5)
+
+
+# -- VirtualMachine ------------------------------------------------------------------
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        VirtualMachine("m", 0, 1, FullyConnected(1), {})
+
+
+def test_allocation_limit():
+    m = tiny_machine()
+    assert m.max_ranks == 16
+    m.check_allocation(16)
+    with pytest.raises(ValueError):
+        m.check_allocation(17)
+    with pytest.raises(ValueError):
+        m.measure("k", {"n": 5, "ranks": 100})
+
+
+def test_measure_unknown_kernel():
+    with pytest.raises(KeyError):
+        tiny_machine().measure("zzz", {"n": 1})
+
+
+def test_measure_reproducible_and_param_sensitive():
+    m = tiny_machine()
+    a = m.measure("k", {"n": 5}, nsamples=5, seed=1)
+    b = m.measure("k", {"n": 5}, nsamples=5, seed=1)
+    c = m.measure("k", {"n": 5}, nsamples=5, seed=2)
+    d = m.measure("k", {"n": 6}, nsamples=5, seed=1)
+    assert a.tolist() == b.tolist()
+    assert a.tolist() != c.tolist()
+    assert a.tolist() != d.tolist()
+
+
+def test_true_mean_oracle():
+    m = tiny_machine()
+    assert m.true_mean("k", {"n": 5}) == pytest.approx(5e-3)
+
+
+# -- benchmark campaign ---------------------------------------------------------------
+
+
+def test_case_study_grid():
+    grid = case_study_grid()
+    assert len(grid) == 25
+    assert {"epr": 5, "ranks": 8} in grid
+
+
+def test_campaign_builds_datasets():
+    m = tiny_machine()
+    grid = [{"n": n, "ranks": r} for n in (1, 2) for r in (4, 8)]
+    out = run_benchmark_campaign(m, ["k"], grid=grid, samples_per_point=6, seed=0)
+    ds = out["k"]
+    assert len(ds) == 4
+    assert ds.n_samples == 24
+    assert ds.param_names == ("n", "ranks")
+
+
+def test_campaign_validates_grid():
+    m = tiny_machine()
+    with pytest.raises(ValueError):
+        run_benchmark_campaign(m, ["k"], grid=[])
+    with pytest.raises(ValueError):
+        run_benchmark_campaign(m, ["k"], grid=[{"n": 1}, {"m": 2}])
+
+
+# -- measured application runs ------------------------------------------------------------
+
+
+def quartz():
+    return make_quartz(allocation_nodes=64)
+
+
+def test_measured_run_no_ft():
+    run = measure_application_run(
+        quartz(), 8, 20, NO_FT, {"epr": 5}, seed=0
+    )
+    assert run.timesteps == 20
+    assert run.total_time == pytest.approx(run.timestep_times.sum())
+    assert run.checkpoint_marks == []
+    assert run.checkpoint_time == 0
+
+
+def test_measured_run_with_checkpoints():
+    run = measure_application_run(
+        quartz(), 8, 40, scenario_l1_l2(10), {"epr": 5}, seed=0
+    )
+    assert len(run.checkpoint_marks) == 8  # 4 instants x 2 levels
+    assert run.checkpoint_time > 0
+    levels = [l for _, l in run.checkpoint_marks]
+    assert set(levels) == {1, 2}
+    times = [t for t, _ in run.checkpoint_marks]
+    assert times == sorted(times)
+    assert run.total_time > measure_application_run(
+        quartz(), 8, 40, NO_FT, {"epr": 5}, seed=0
+    ).total_time
+
+
+def test_measured_run_cumulative_curve_monotone():
+    run = measure_application_run(quartz(), 8, 30, scenario_l1(10), {"epr": 5})
+    curve = run.cumulative_times()
+    assert curve.shape == (30,)
+    assert np.all(np.diff(curve) > 0)
+    assert curve[-1] == pytest.approx(run.total_time)
+
+
+def test_measured_run_straggler_effect():
+    """More ranks -> larger per-timestep max -> longer run."""
+    small = measure_application_run(quartz(), 8, 30, NO_FT, {"epr": 10}, seed=5)
+    big = measure_application_run(quartz(), 64, 30, NO_FT, {"epr": 10}, seed=5)
+    per_ts_small = small.timestep_times.mean()
+    per_ts_big = big.timestep_times.mean()
+    truth_small = quartz().true_mean("lulesh_timestep", {"epr": 10, "ranks": 8})
+    truth_big = quartz().true_mean("lulesh_timestep", {"epr": 10, "ranks": 64})
+    assert per_ts_big / truth_big > per_ts_small / truth_small
+
+
+def test_measured_run_validation():
+    with pytest.raises(ValueError):
+        measure_application_run(quartz(), 8, 0, NO_FT, {"epr": 5})
+    with pytest.raises(ValueError):
+        measure_application_run(quartz(), 10**6, 5, NO_FT, {"epr": 5})
+
+
+# -- machine definitions ----------------------------------------------------------------
+
+
+def test_quartz_kernels_present():
+    m = make_quartz()
+    assert set(m.kernels) == {
+        "lulesh_timestep", "lulesh_force", "lulesh_eos",
+        "fti_l1", "fti_l2", "fti_l3", "fti_l4",
+    }
+    assert m.max_ranks == 1000
+
+
+def test_quartz_fine_kernels_sum_to_timestep():
+    m = make_quartz()
+    for epr in (5, 25):
+        for ranks in (8, 1000):
+            p = {"epr": epr, "ranks": ranks}
+            assert m.true_mean("lulesh_force", p) + m.true_mean(
+                "lulesh_eos", p
+            ) == pytest.approx(m.true_mean("lulesh_timestep", p))
+
+
+def test_quartz_truth_orderings():
+    m = make_quartz()
+    for epr in (5, 10, 25):
+        for ranks in (8, 64, 1000):
+            p = {"epr": epr, "ranks": ranks}
+            step = m.true_mean("lulesh_timestep", p)
+            l1 = m.true_mean("fti_l1", p)
+            l2 = m.true_mean("fti_l2", p)
+            assert step < l1 < l2, (epr, ranks)
+
+
+def test_quartz_truths_monotone_in_params():
+    m = make_quartz()
+    for kernel in m.kernels:
+        assert m.true_mean(kernel, {"epr": 25, "ranks": 64}) > m.true_mean(
+            kernel, {"epr": 5, "ranks": 64}
+        )
+        assert m.true_mean(kernel, {"epr": 10, "ranks": 1000}) > m.true_mean(
+            kernel, {"epr": 10, "ranks": 8}
+        )
+
+
+def test_vulcan_definition():
+    m = make_vulcan(allocation_nodes=1024)
+    assert "cmtbone_timestep" in m.kernels
+    assert m.nnodes >= 1024
+    assert m.true_mean(
+        "cmtbone_timestep", {"elem_size": 15, "elements": 64, "ranks": 1024}
+    ) > m.true_mean(
+        "cmtbone_timestep", {"elem_size": 5, "elements": 64, "ranks": 1024}
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    epr=st.sampled_from([5, 10, 15, 20, 25, 30]),
+    ranks=st.sampled_from([8, 64, 216, 512, 1000]),
+)
+def test_quartz_truths_positive_finite(epr, ranks):
+    m = make_quartz()
+    for kernel in m.kernels:
+        v = m.true_mean(kernel, {"epr": epr, "ranks": ranks})
+        assert 0 < v < 60.0

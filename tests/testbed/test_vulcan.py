@@ -1,0 +1,57 @@
+"""Vulcan machine definition and torus sizing."""
+
+import pytest
+
+from repro.testbed.vulcan import _balanced_dims, make_vulcan
+
+
+def test_balanced_dims_product_covers_target():
+    for n in (1, 7, 64, 1000, 8192, 24576):
+        dims = _balanced_dims(n, ndims=5)
+        assert len(dims) == 5
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod >= n
+        # near-balanced: max/min ratio bounded
+        assert max(dims) <= 4 * max(min(dims), 1)
+
+
+def test_balanced_dims_validation():
+    with pytest.raises(ValueError):
+        _balanced_dims(0)
+    with pytest.raises(ValueError):
+        _balanced_dims(8, ndims=0)
+
+
+def test_vulcan_scaling_with_ranks_and_elements():
+    m = make_vulcan(allocation_nodes=512)
+    base = {"elem_size": 10, "elements": 64, "ranks": 512}
+    t0 = m.true_mean("cmtbone_timestep", base)
+    assert m.true_mean(
+        "cmtbone_timestep", {**base, "elements": 128}
+    ) > t0
+    assert m.true_mean(
+        "cmtbone_timestep", {**base, "ranks": 8192}
+    ) > t0
+
+
+def test_vulcan_allocation_limits():
+    m = make_vulcan(allocation_nodes=64, ranks_per_node=16)
+    assert m.max_ranks >= 64 * 16
+    with pytest.raises(ValueError):
+        m.check_allocation(m.max_ranks + 1)
+    with pytest.raises(ValueError):
+        make_vulcan(allocation_nodes=0)
+
+
+def test_vulcan_elem_size_dominates():
+    """The spectral kernel's n^4 term: doubling elem_size ~16x work."""
+    m = make_vulcan()
+    small = m.true_mean(
+        "cmtbone_timestep", {"elem_size": 5, "elements": 64, "ranks": 1024}
+    )
+    big = m.true_mean(
+        "cmtbone_timestep", {"elem_size": 10, "elements": 64, "ranks": 1024}
+    )
+    assert 6 < big / small < 20
