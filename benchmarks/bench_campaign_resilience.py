@@ -1,0 +1,35 @@
+"""CAMPAIGN — resilience sweep with the full fault lifecycle.
+
+Exercises the fault-lifecycle machinery end to end (torn checkpoints,
+nested faults, escalation, requeue) across a fault-rate × checkpoint
+period grid, and checks the survivability statistics are coherent.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.campaign import ResilienceCampaign
+from repro.core.fault_injection import RecoveryPolicy
+
+
+def test_campaign_resilience_sweep(benchmark):
+    camp = ResilienceCampaign(
+        reps=6,
+        base_seed=0,
+        policy=RecoveryPolicy(verify_fail_prob=0.1, requeue_delay_s=5.0),
+    )
+    report = benchmark.pedantic(
+        lambda: camp.run_grid([4.0, 16.0], [5, 10], timesteps=40),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "campaign", report.format())
+
+    assert len(report.points) == 4
+    by = {(p.spec.node_mtbf_s, p.spec.ckpt_period): p for p in report.points}
+    # higher fault pressure injects more faults
+    assert by[(4.0, 5)].mean_faults > by[(16.0, 5)].mean_faults
+    for p in report.points:
+        assert 0.0 <= p.completion_probability <= 1.0
+        assert set(p.waste) == {"rework", "downtime", "checkpoint", "requeue"}
+        if p.completion_probability > 0:
+            assert p.expected_makespan > p.spec.work_s
+            assert p.youngdaly["ratio"] is not None

@@ -72,6 +72,34 @@ def expected_runtime(
     return segments * seg_time
 
 
+def expected_waste(
+    work: float,
+    interval: float,
+    ckpt_cost: float,
+    mtbf: float,
+    restart_cost: float = 0.0,
+) -> float:
+    """Expected wall time *lost* to checkpoints, rework and restarts.
+
+    The difference between :func:`expected_runtime` and the failure-free,
+    checkpoint-free ideal — the analytical prediction the resilience
+    campaign cross-checks its simulated waste breakdown against.
+    """
+    return expected_runtime(work, interval, ckpt_cost, mtbf, restart_cost) - work
+
+
+def expected_waste_fraction(
+    work: float,
+    interval: float,
+    ckpt_cost: float,
+    mtbf: float,
+    restart_cost: float = 0.0,
+) -> float:
+    """Expected waste as a fraction of expected wall time."""
+    total = expected_runtime(work, interval, ckpt_cost, mtbf, restart_cost)
+    return (total - work) / total
+
+
 def optimal_expected_runtime(
     work: float,
     ckpt_cost: float,

@@ -5,6 +5,7 @@ Examples::
     python -m repro table3
     python -m repro fig7 --reps 5
     python -m repro fig9 --reps 2
+    python -m repro campaign --mtbf 8 16 --periods 5 10 --json out.json
     python -m repro fit-models --out quartz_models.json
     python -m repro list
 
@@ -61,6 +62,39 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--reps", type=int, default=3, help="Monte-Carlo replicas"
         )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="resilience campaign: fault-rate x checkpoint-period sweep",
+    )
+    camp.add_argument("--seed", type=int, default=0, help="root seed")
+    camp.add_argument("--reps", type=int, default=10, help="replicas per point")
+    camp.add_argument(
+        "--mtbf",
+        type=float,
+        nargs="+",
+        default=[8.0, 16.0, 32.0],
+        help="per-node MTBF values to sweep (seconds)",
+    )
+    camp.add_argument(
+        "--periods",
+        type=int,
+        nargs="+",
+        default=[5, 10],
+        help="checkpoint periods to sweep (timesteps)",
+    )
+    camp.add_argument(
+        "--timesteps", type=int, default=40, help="workload timesteps"
+    )
+    camp.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    camp.add_argument(
+        "--legacy-policy",
+        action="store_true",
+        help="atomic recovery (no verification/escalation/requeue)",
+    )
+    camp.add_argument("--json", dest="json_out", help="write full report JSON here")
 
     fit = sub.add_parser(
         "fit-models", help="run Model Development and save the fitted models"
@@ -169,6 +203,24 @@ def _run_experiment(name: str, seed: int, reps: int) -> str:
     raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
 
 
+def _run_campaign(args) -> str:
+    from repro.core.campaign import ResilienceCampaign
+    from repro.core.fault_injection import RecoveryPolicy
+
+    policy = RecoveryPolicy.legacy() if args.legacy_policy else RecoveryPolicy()
+    camp = ResilienceCampaign(
+        reps=args.reps,
+        base_seed=args.seed,
+        policy=policy,
+        n_workers=args.workers,
+    )
+    report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json())
+    return report.format()
+
+
 def _fit_models(out: str, seed: int, all_levels: bool) -> str:
     from repro.core.workflow import ModelDevelopment
     from repro.exps.casestudy import CASE_KERNELS
@@ -206,6 +258,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         for name, (artifact, desc) in _EXPERIMENTS.items():
             print(f"{name:<8s} {artifact:<10s} {desc}")
+        return 0
+    if args.command == "campaign":
+        print(_run_campaign(args))
         return 0
     if args.command == "fit-models":
         print(_fit_models(args.out, args.seed, args.all_levels))

@@ -15,6 +15,8 @@ The pieces map onto the paper's Fig. 2 workflow:
   restart-from-checkpoint (Cases 2 and 4; the paper's future work),
 * :mod:`~repro.core.montecarlo` — Monte-Carlo replication capturing
   calibration variance,
+* :mod:`~repro.core.campaign` — resilience campaigns: process-parallel
+  fault-rate × checkpoint-config sweeps with survivability statistics,
 * :mod:`~repro.core.workflow` — Model-Development and Co-Design phase
   drivers,
 * :mod:`~repro.core.dse` — design-space sweep utilities (Fig. 9),
@@ -34,8 +36,19 @@ from repro.core.instructions import (
 from repro.core.beo import AppBEO, ArchBEO
 from repro.core.simulator import BESSTSimulator, SimulationResult, RankTimeline
 from repro.core.ft import FTScenario, NO_FT, scenario_l1, scenario_l1_l2
-from repro.core.fault_injection import FaultInjector, FaultModel, FaultEventLog
+from repro.core.fault_injection import (
+    FaultInjector,
+    FaultModel,
+    FaultEventLog,
+    RecoveryPolicy,
+)
 from repro.core.montecarlo import MonteCarloRunner, Distribution
+from repro.core.campaign import (
+    CampaignSpec,
+    CampaignPointReport,
+    CampaignReport,
+    ResilienceCampaign,
+)
 from repro.core.validation import ValidationReport, validate_simulation
 from repro.core.dse import DesignPoint, sweep, overhead_matrix
 from repro.core.workflow import (
@@ -65,8 +78,13 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FaultEventLog",
+    "RecoveryPolicy",
     "MonteCarloRunner",
     "Distribution",
+    "CampaignSpec",
+    "CampaignPointReport",
+    "CampaignReport",
+    "ResilienceCampaign",
     "ValidationReport",
     "validate_simulation",
     "DesignPoint",

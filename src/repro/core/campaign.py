@@ -1,0 +1,376 @@
+"""Resilience campaigns: survivability statistics over fault sweeps.
+
+A :class:`ResilienceCampaign` runs the full fault lifecycle (torn
+checkpoints, nested faults, escalation, requeue — see
+:mod:`repro.core.simulator`) across a grid of fault rates × checkpoint
+configurations, replicating each point Monte-Carlo style, optionally
+across worker processes.  Each grid point reports
+
+* **completion probability** — the fraction of replicas that finished
+  (the rest aborted after exhausting retries, requeues and spares),
+* **expected makespan** over the completed replicas,
+* a **wasted-time breakdown** — rework, downtime, checkpoint overhead,
+  and requeue stalls,
+* **faults per completion**, and
+* a cross-check of the simulated waste against the Young/Daly
+  analytical expectation (:mod:`repro.analytical.youngdaly`).
+
+Workloads are the synthetic SPMD pattern used throughout the test suite
+(compute → optional checkpoint → allreduce per timestep) so each grid
+point is a pure function of its :class:`CampaignSpec` — which is what
+makes the process-parallel path bit-identical to the sequential one.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analytical.youngdaly import expected_waste
+from repro.core.beo import AppBEO, ArchBEO
+from repro.core.fault_injection import FaultInjector, FaultModel, RecoveryPolicy
+from repro.core.instructions import Checkpoint, Collective, Compute
+from repro.core.montecarlo import MonteCarloRunner
+from repro.core.simulator import BESSTSimulator
+from repro.models import ConstantModel
+from repro.network import FullyConnected
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One grid point: a workload under one fault/checkpoint regime."""
+
+    node_mtbf_s: float
+    ckpt_period: int                #: timesteps between checkpoints
+    level: int = 1                  #: checkpoint level taken each period
+    nranks: int = 8
+    nnodes: int = 4
+    timesteps: int = 60
+    compute_s: float = 0.1          #: modeled per-timestep compute cost
+    ckpt_cost_s: float = 0.05       #: modeled checkpoint cost
+    allreduce_bytes: int = 8
+    recovery_time_s: float = 0.2    #: failure detection + restore downtime
+    software_fraction: float = 1.0  #: share of transient (vs node-loss) faults
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_s <= 0:
+            raise ValueError(f"node_mtbf_s must be > 0, got {self.node_mtbf_s}")
+        if self.ckpt_period < 1:
+            raise ValueError(f"ckpt_period must be >= 1, got {self.ckpt_period}")
+        if self.timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {self.timesteps}")
+
+    @property
+    def work_s(self) -> float:
+        """Failure-free useful compute per rank."""
+        return self.timesteps * self.compute_s
+
+    @property
+    def interval_s(self) -> float:
+        """Compute time between checkpoints (the Young/Daly tau)."""
+        return self.ckpt_period * self.compute_s
+
+    @property
+    def system_mtbf_s(self) -> float:
+        return self.node_mtbf_s / self.nnodes
+
+
+def build_campaign_app(spec: CampaignSpec) -> AppBEO:
+    """The campaign's synthetic SPMD workload."""
+
+    def builder(rank, nranks, params):
+        body = []
+        for ts in range(1, spec.timesteps + 1):
+            body.append(Compute.of("work"))
+            if ts % spec.ckpt_period == 0:
+                body.append(Checkpoint.of(spec.level, "ckpt"))
+            body.append(Collective("allreduce", nbytes=spec.allreduce_bytes))
+        return body
+
+    return AppBEO(f"campaign_p{spec.ckpt_period}_l{spec.level}", builder)
+
+
+def build_campaign_simulator(
+    spec: CampaignSpec,
+    seed: int,
+    policy: RecoveryPolicy,
+    inject: bool = True,
+) -> BESSTSimulator:
+    """Assemble one replica's simulator (pure function of its inputs)."""
+    arch = ArchBEO(
+        "campaign",
+        topology=FullyConnected(spec.nranks),
+        cores_per_node=max(1, spec.nranks // spec.nnodes),
+    )
+    arch.bind("work", ConstantModel(spec.compute_s))
+    arch.bind("ckpt", ConstantModel(spec.ckpt_cost_s))
+    arch.recovery_time_s = spec.recovery_time_s
+    injector = None
+    if inject:
+        injector = FaultInjector(
+            FaultModel(
+                node_mtbf_s=spec.node_mtbf_s,
+                software_fraction=spec.software_fraction,
+            ),
+            nnodes=spec.nnodes,
+            seed=seed + 777,
+        )
+    return BESSTSimulator(
+        build_campaign_app(spec),
+        arch,
+        nranks=spec.nranks,
+        seed=seed,
+        monte_carlo=False,
+        fault_injector=injector,
+        recovery_policy=policy,
+    )
+
+
+#: event budget per replica; aborts make runs short, fault storms long
+_REPLICA_MAX_EVENTS = 20_000_000
+
+
+def _run_replica(payload: tuple) -> dict:
+    """One Monte-Carlo replica → a slim, picklable metrics dict.
+
+    Module-level so :class:`ProcessPoolExecutor` can ship it to workers.
+    """
+    spec, policy, seed = payload
+    sim = build_campaign_simulator(spec, seed, policy)
+    res = sim.run(max_events=_REPLICA_MAX_EVENTS)
+    return {
+        "seed": seed,
+        "completed": res.completed,
+        "total_time": res.total_time,
+        "faults": res.faults_injected,
+        "rollbacks": res.rollbacks,
+        "nested_faults": res.nested_faults,
+        "torn_checkpoints": res.torn_checkpoints,
+        "verify_failures": res.verify_failures,
+        "escalations": res.escalations,
+        "requeues": res.requeues,
+        "waste_rework": res.waste_rework,
+        "waste_downtime": res.waste_downtime,
+        "waste_requeue": res.waste_requeue,
+        "checkpoint_time": res.checkpoint_time,
+        "fault_log": [list(e) for e in sim.fault_injector.log.entries],
+    }
+
+
+@dataclass
+class CampaignPointReport:
+    """Aggregated survivability statistics of one grid point."""
+
+    spec: CampaignSpec
+    reps: int
+    completion_probability: float
+    expected_makespan: Optional[float]   #: mean over completed replicas
+    makespan_p95: Optional[float]
+    faults_per_completion: Optional[float]
+    mean_faults: float
+    mean_nested_faults: float
+    mean_torn_checkpoints: float
+    mean_verify_failures: float
+    mean_requeues: float
+    waste: dict                          #: rework/downtime/checkpoint/requeue means
+    youngdaly: dict                      #: analytical cross-check
+    replicas: list = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        d = {
+            "spec": asdict(self.spec),
+            "reps": self.reps,
+            "completion_probability": self.completion_probability,
+            "expected_makespan": self.expected_makespan,
+            "makespan_p95": self.makespan_p95,
+            "faults_per_completion": self.faults_per_completion,
+            "mean_faults": self.mean_faults,
+            "mean_nested_faults": self.mean_nested_faults,
+            "mean_torn_checkpoints": self.mean_torn_checkpoints,
+            "mean_verify_failures": self.mean_verify_failures,
+            "mean_requeues": self.mean_requeues,
+            "waste": self.waste,
+            "youngdaly": self.youngdaly,
+        }
+        return d
+
+
+@dataclass
+class CampaignReport:
+    """The full campaign grid."""
+
+    points: list[CampaignPointReport]
+    reps: int
+    base_seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": "resilience",
+            "reps": self.reps,
+            "base_seed": self.base_seed,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            "RESILIENCE CAMPAIGN "
+            f"({self.reps} replicas/point, base seed {self.base_seed})",
+            f"{'mtbf/node':>10s} {'period':>7s} {'P(done)':>8s} "
+            f"{'makespan':>9s} {'faults':>7s} {'waste r/d/c/q':>24s} {'YD ratio':>9s}",
+        ]
+        for p in self.points:
+            w = p.waste
+            mk = f"{p.expected_makespan:.3f}" if p.expected_makespan is not None else "-"
+            fpc = f"{p.faults_per_completion:.2f}" if p.faults_per_completion is not None else "-"
+            ratio = p.youngdaly.get("ratio")
+            yd = f"{ratio:.2f}" if ratio is not None else "-"
+            lines.append(
+                f"{p.spec.node_mtbf_s:>10.1f} {p.spec.ckpt_period:>7d} "
+                f"{p.completion_probability:>8.2f} {mk:>9s} {fpc:>7s} "
+                f"{w['rework']:>6.3f}/{w['downtime']:.3f}/{w['checkpoint']:.3f}/{w['requeue']:.3f}"
+                f" {yd:>9s}"
+            )
+        return "\n".join(lines)
+
+
+class ResilienceCampaign(MonteCarloRunner):
+    """Process-parallel Monte-Carlo sweep of fault survivability.
+
+    Parameters
+    ----------
+    reps / base_seed:
+        As in :class:`MonteCarloRunner`; replica *i* of every grid point
+        runs with seed ``base_seed + i``.
+    policy:
+        The :class:`RecoveryPolicy` applied to every replica.
+    n_workers:
+        Worker processes; 1 (default) runs in-process.  Both paths
+        produce byte-identical reports (replicas are pure functions of
+        ``(spec, policy, seed)``).
+    """
+
+    def __init__(
+        self,
+        reps: int = 20,
+        base_seed: int = 0,
+        policy: Optional[RecoveryPolicy] = None,
+        n_workers: int = 1,
+    ) -> None:
+        super().__init__(reps=reps, base_seed=base_seed)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.policy = policy or RecoveryPolicy()
+        self.n_workers = n_workers
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_replicas(self, spec: CampaignSpec) -> list[dict]:
+        payloads = [
+            (spec, self.policy, self.base_seed + i) for i in range(self.reps)
+        ]
+        if self.n_workers == 1:
+            return [_run_replica(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(_run_replica, payloads))
+
+    def run_point(self, spec: CampaignSpec) -> CampaignPointReport:
+        """Run every replica of one grid point and aggregate."""
+        replicas = self._run_replicas(spec)
+        completed = [r for r in replicas if r["completed"]]
+        n_done = len(completed)
+        makespans = np.array([r["total_time"] for r in completed])
+        total_faults = sum(r["faults"] for r in replicas)
+
+        def mean(key: str) -> float:
+            return float(np.mean([r[key] for r in replicas]))
+
+        waste = {
+            "rework": mean("waste_rework"),
+            "downtime": mean("waste_downtime"),
+            "checkpoint": mean("checkpoint_time"),
+            "requeue": mean("waste_requeue"),
+        }
+        return CampaignPointReport(
+            spec=spec,
+            reps=self.reps,
+            completion_probability=n_done / self.reps,
+            expected_makespan=float(makespans.mean()) if n_done else None,
+            makespan_p95=float(np.percentile(makespans, 95)) if n_done else None,
+            faults_per_completion=(total_faults / n_done) if n_done else None,
+            mean_faults=mean("faults"),
+            mean_nested_faults=mean("nested_faults"),
+            mean_torn_checkpoints=mean("torn_checkpoints"),
+            mean_verify_failures=mean("verify_failures"),
+            mean_requeues=mean("requeues"),
+            waste=waste,
+            youngdaly=self._youngdaly_check(spec, replicas),
+            replicas=replicas,
+        )
+
+    def run_grid(
+        self,
+        mtbfs: Sequence[float],
+        periods: Sequence[int],
+        **spec_kwargs,
+    ) -> CampaignReport:
+        """Sweep fault rates × checkpoint periods."""
+        points = [
+            self.run_point(
+                CampaignSpec(node_mtbf_s=m, ckpt_period=p, **spec_kwargs)
+            )
+            for m in mtbfs
+            for p in periods
+        ]
+        return CampaignReport(points=points, reps=self.reps, base_seed=self.base_seed)
+
+    # -- analytical cross-check -----------------------------------------------------
+
+    def _youngdaly_check(self, spec: CampaignSpec, replicas: list[dict]) -> dict:
+        """Compare mean simulated waste with the Young/Daly expectation.
+
+        The analytical model prices exactly what the simulator charges to
+        waste + checkpoint overhead: E[runtime] − work.  ``ratio`` is
+        simulated/predicted; at moderate fault rates (a handful of faults
+        per run) it should sit within ±50 % (see tests/docs), the renewal
+        approximation's documented accuracy band here.
+        """
+        predicted = expected_waste(
+            spec.work_s,
+            spec.interval_s,
+            spec.ckpt_cost_s,
+            spec.system_mtbf_s,
+            restart_cost=spec.recovery_time_s,
+        )
+        completed = [r for r in replicas if r["completed"]]
+        if not completed:
+            return {
+                "interval_s": spec.interval_s,
+                "predicted_waste_s": predicted,
+                "simulated_waste_s": None,
+                "ratio": None,
+            }
+        simulated = float(
+            np.mean(
+                [
+                    r["waste_rework"]
+                    + r["waste_downtime"]
+                    + r["waste_requeue"]
+                    + r["checkpoint_time"]
+                    for r in completed
+                ]
+            )
+        )
+        return {
+            "interval_s": spec.interval_s,
+            "predicted_waste_s": predicted,
+            "simulated_waste_s": simulated,
+            "ratio": simulated / predicted if predicted > 0 else None,
+        }

@@ -6,14 +6,22 @@ Weibull distribution and fires failures into a running
 the simulator rolls every rank back to its last completed checkpoint
 (Case 4); without checkpoints the application restarts from the beginning
 (Case 2).
+
+:class:`RecoveryPolicy` configures the simulator's fault-lifecycle
+realism: read-back verification failures (checkpoint corruption / SDC),
+the L1→L2→L4→full-restart escalation ladder with bounded retries and
+per-attempt backoff, and the abort/requeue path with its spare-node pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analytical.sparenodes import SpareNodeModel
 
 
 @dataclass(frozen=True)
@@ -76,6 +84,100 @@ class FaultModel:
         return float(lam * rng.weibull(k))
 
 
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the simulator handles the lifecycle of one fault.
+
+    Parameters
+    ----------
+    verify_fail_prob:
+        Probability that one recovery attempt's checkpoint read-back fails
+        verification (corrupt/torn data, silent data corruption).  A
+        failed verification escalates one rung up the recovery ladder.
+        Full restart from the input deck (the last rung) never fails.
+    max_attempts:
+        Bound on recovery attempts per fault episode (nested faults extend
+        the episode).  Exhausting the bound aborts the job and requeues it.
+    retry_delay_s / backoff:
+        Extra delay charged to the k-th retry: ``retry_delay_s *
+        backoff**(k-1)`` (the first attempt pays none).
+    l1_inplace_writes:
+        When true, an L1 checkpoint write torn by a fault on the writing
+        node destroys the node's *previous* local copy as well (in-place
+        overwrite, FTI node-local semantics), so an L1-only restart point
+        becomes unusable for the whole job.
+    max_requeues:
+        Job resubmissions allowed after recovery exhaustion before the
+        job is declared aborted.
+    requeue_delay_s:
+        Scheduler latency of one resubmission.
+    n_spares / spare_swap_s / spare_rebuild_s:
+        Spare-node pool: a requeue caused by a node loss consumes one
+        spare (paying ``spare_swap_s``); once the pool is exhausted the
+        requeue degrades gracefully to a full node rebuild stall of
+        ``spare_rebuild_s`` instead of failing.
+    """
+
+    verify_fail_prob: float = 0.05
+    max_attempts: int = 4
+    retry_delay_s: float = 0.5
+    backoff: float = 2.0
+    l1_inplace_writes: bool = True
+    max_requeues: int = 1
+    requeue_delay_s: float = 30.0
+    n_spares: int = 2
+    spare_swap_s: float = 5.0
+    spare_rebuild_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.verify_fail_prob < 1.0:
+            raise ValueError(
+                f"verify_fail_prob must be in [0,1), got {self.verify_fail_prob}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retry_delay_s < 0 or self.backoff <= 0:
+            raise ValueError("retry_delay_s must be >= 0 and backoff > 0")
+        if self.max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {self.max_requeues}")
+        if self.requeue_delay_s < 0:
+            raise ValueError(f"requeue_delay_s must be >= 0, got {self.requeue_delay_s}")
+        if self.n_spares < 0:
+            raise ValueError(f"n_spares must be >= 0, got {self.n_spares}")
+        if self.spare_swap_s < 0 or self.spare_rebuild_s < 0:
+            raise ValueError("spare costs must be >= 0")
+
+    def retry_extra_delay(self, attempt: int) -> float:
+        """Extra delay of *attempt* (1-based); the first attempt is free."""
+        if attempt <= 1:
+            return 0.0
+        return self.retry_delay_s * self.backoff ** (attempt - 2)
+
+    @staticmethod
+    def legacy() -> "RecoveryPolicy":
+        """The seed simulator's semantics: one atomic, always-successful
+        rollback per fault, no torn-write damage, never aborts."""
+        return RecoveryPolicy(
+            verify_fail_prob=0.0,
+            max_attempts=1_000_000_000,
+            retry_delay_s=0.0,
+            backoff=1.0,
+            l1_inplace_writes=False,
+            max_requeues=0,
+        )
+
+    @classmethod
+    def from_spare_model(cls, spare: "SpareNodeModel", **overrides) -> "RecoveryPolicy":
+        """Derive the spare-pool parameters from an analytical
+        :class:`~repro.analytical.sparenodes.SpareNodeModel`."""
+        policy = cls(
+            n_spares=spare.n_spare,
+            spare_swap_s=spare.swap_cost,
+            spare_rebuild_s=spare.rebuild_cost,
+        )
+        return replace(policy, **overrides) if overrides else policy
+
+
 @dataclass
 class FaultEventLog:
     """Chronological record of injected failures."""
@@ -121,37 +223,77 @@ class FaultInjector:
             raise ValueError(f"nnodes must be >= 1, got {nnodes}")
         self.model = model
         self.nnodes = nnodes
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.max_faults = max_faults
         self.log = FaultEventLog()
         self.sim = None
         self._pending = None
+        #: nodes lost to "node"-kind failures and not yet replaced;
+        #: failure draws only ever hit live nodes.
+        self.failed_nodes: set[int] = set()
 
     # -- simulator binding --------------------------------------------------------
 
     def attach(self, sim) -> None:
         """Called by the simulator constructor; schedules the first fault."""
         if self.sim is not None:
-            raise RuntimeError("FaultInjector is already attached to a simulator")
+            raise RuntimeError(
+                "FaultInjector is already attached to a simulator; "
+                "call detach() or reset() before reusing it"
+            )
         self.sim = sim
         self._schedule_next()
 
     def detach(self) -> None:
-        """Stop injecting (job finished)."""
+        """Stop injecting and release the simulator binding.
+
+        The injector stays usable: a subsequent :meth:`attach` continues
+        the same failure stream (call :meth:`reset` for a fresh one).
+        """
         if self.sim is not None and self._pending is not None:
             self.sim.engine.cancel(self._pending)
-            self._pending = None
+        self._pending = None
+        self.sim = None
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restore constructor state so one injector can be rebuilt across
+        Monte-Carlo replicas; *seed* optionally rekeys the stream."""
+        self.detach()
+        if seed is not None:
+            self.seed = seed
+        self.rng = np.random.default_rng(self.seed)
+        self.log = FaultEventLog()
+        self.failed_nodes.clear()
+
+    def notify_requeue(self) -> None:
+        """The job was requeued onto a repaired allocation: every
+        previously failed node is back in service."""
+        self.failed_nodes.clear()
+
+    # -- failure stream -----------------------------------------------------------
+
+    @property
+    def live_nodes(self) -> int:
+        return self.nnodes - len(self.failed_nodes)
 
     def _schedule_next(self) -> None:
-        if self.log.count() >= self.max_faults:
+        if self.log.count() >= self.max_faults or self.live_nodes < 1:
             return
-        dt = self.model.draw_interarrival(self.rng, self.nnodes)
+        dt = self.model.draw_interarrival(self.rng, self.live_nodes)
         self._pending = self.sim.engine.schedule(dt, self._fire)
 
     def _fire(self, ev) -> None:
         self._pending = None
-        node = int(self.rng.integers(0, self.nnodes))
+        live = [n for n in range(self.nnodes) if n not in self.failed_nodes]
+        if not live:  # pragma: no cover - guarded by _schedule_next
+            return
+        node = int(live[int(self.rng.integers(0, len(live)))])
         kind = self.model.draw_kind(self.rng)
+        if kind == "node":
+            self.failed_nodes.add(node)
         self.log.add(self.sim.engine.now, node, kind)
-        self.sim.inject_fault(node, kind)
-        self._schedule_next()
+        sim = self.sim
+        sim.inject_fault(node, kind)
+        if self.sim is not None:  # the fault may abort the job and detach us
+            self._schedule_next()

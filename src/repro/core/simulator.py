@@ -13,6 +13,22 @@ Fault injection (Cases 2 and 4 of Fig. 4) plugs in through
 coordinated rollback of every rank to its last completed checkpoint (or to
 the very beginning when the application carries no checkpoints), plus the
 ArchBEO's recovery downtime.
+
+The fault *lifecycle* follows a four-state machine driven by the
+:class:`~repro.core.fault_injection.RecoveryPolicy`::
+
+    running ──fault──▶ recovering ──verify ok──▶ running
+       ▲                   │  ▲
+       │                   │  └── nested fault / failed verification
+       │                   │      (escalate L1 → L2 → L4 → restart)
+       │            attempts exhausted
+       │                   ▼
+       └──requeue ok── requeued ──spares+requeues exhausted──▶ aborted
+
+A fault that lands while a rank is *inside* a ``Checkpoint`` instruction
+tears that in-progress instance (it never becomes a restart point), and —
+with in-place L1 writes — destroys the previous committed L1 copy on the
+failed node, pushing recovery one checkpoint further back.
 """
 
 from __future__ import annotations
@@ -23,6 +39,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.beo import AppBEO, ArchBEO
+from repro.core.fault_injection import RecoveryPolicy
 from repro.core.instructions import (
     Checkpoint,
     Collective,
@@ -88,7 +105,17 @@ class SimulationResult:
     collective_time: float          #: rank-0 time in collectives
     faults_injected: int = 0
     rollbacks: int = 0
-    wasted_time: float = 0.0        #: recomputed + downtime attributable to faults
+    wasted_time: float = 0.0        #: recomputed + downtime + requeue attributable to faults
+    completed: bool = True          #: False when the job aborted (requeues exhausted)
+    nested_faults: int = 0          #: faults that landed inside a recovery window
+    torn_checkpoints: int = 0       #: checkpoint instances interrupted mid-write
+    verify_failures: int = 0        #: recovery read-backs that failed verification
+    escalations: int = 0            #: ladder rungs climbed after failed verifications
+    recovery_attempts: int = 0      #: total recovery attempts across all episodes
+    requeues: int = 0               #: job resubmissions after recovery exhaustion
+    waste_rework: float = 0.0       #: lost forward progress (recomputation)
+    waste_downtime: float = 0.0     #: detection + restore + retry delays
+    waste_requeue: float = 0.0      #: resubmission + spare-swap/rebuild stalls
 
     @property
     def ft_overhead_fraction(self) -> float:
@@ -304,8 +331,58 @@ class _Rank(Component):
         # cancel it (otherwise the rank would resume twice).
         self._pending = self.schedule(resume_delay, lambda ev: self.advance())
 
+    def pause(self) -> None:
+        """Cancel whatever this rank is doing (fault arrived)."""
+        if self._pending is not None:
+            self.engine.cancel(self._pending)
+            self._pending = None
+
+    def checkpoint_in_progress(self, t: float) -> Optional[int]:
+        """Level of the Checkpoint instruction this rank is inside at *t*,
+        or None.  Batched instructions commit only when the batch event
+        fires, so the pending batch localises the write window exactly."""
+        ev = self._pending
+        if ev is None or ev.cancelled or not isinstance(ev.payload, list):
+            return None
+        batch = ev.payload
+        start = ev.time - sum(d for _, _, d in batch)
+        for instr, off, dt in batch:
+            if (
+                isinstance(instr, Checkpoint)
+                and dt > 0
+                and start + off <= t < start + off + dt
+            ):
+                return instr.level
+        return None
+
     def handle_event(self, port_name, payload, time) -> None:  # pragma: no cover
         raise RuntimeError("rank components do not use ports")
+
+
+@dataclass
+class _RecoveryEpisode:
+    """Mutable state of one fault episode (fault → recovered/requeued).
+
+    Nested faults extend the episode: they refresh ``kind`` (to the worst
+    severity seen) but keep ``fault_time``, the credited rework and the
+    cumulative ``attempts`` bound — the latter is what guarantees
+    termination under fault storms.
+    """
+
+    kind: str
+    fault_time: float
+    #: escalation ladder, frozen when the episode starts (each attempt's
+    #: rollback truncates newer restart history, so recomputing it per
+    #: attempt would shift the rung targets under the episode's feet)
+    ladder: list = field(default_factory=list)
+    attempts: int = 0
+    rung: int = 0                  #: escalation-ladder index
+    rework_credited: float = 0.0   #: lost progress already charged to waste
+    requeued: bool = False         #: waiting out a resubmission delay
+
+
+#: fault-kind severity ordering for nested-fault merging
+_KIND_SEVERITY = {"software": 0, "node": 1}
 
 
 class BESSTSimulator:
@@ -330,6 +407,11 @@ class BESSTSimulator:
     fault_injector:
         Optional :class:`~repro.core.fault_injection.FaultInjector`
         enabling Cases 2/4.
+    recovery_policy:
+        Optional :class:`~repro.core.fault_injection.RecoveryPolicy`
+        enabling the full fault lifecycle (torn checkpoints, verification
+        failures, escalation, requeue).  ``None`` keeps the seed
+        semantics: one atomic, always-successful rollback per fault.
     """
 
     def __init__(
@@ -342,6 +424,7 @@ class BESSTSimulator:
         monte_carlo: bool = True,
         record_timelines: str = "rank0",
         fault_injector=None,
+        recovery_policy: Optional[RecoveryPolicy] = None,
     ) -> None:
         if record_timelines not in ("rank0", "all", "none"):
             raise ValueError(f"invalid record_timelines {record_timelines!r}")
@@ -354,6 +437,7 @@ class BESSTSimulator:
         self.engine = Engine(seed=seed)
         self.sync = _SyncDomain(self)
         self.fault_injector = fault_injector
+        self.policy = recovery_policy or RecoveryPolicy.legacy()
         self._recorded_ranks = (
             set(range(nranks))
             if record_timelines == "all"
@@ -366,7 +450,23 @@ class BESSTSimulator:
         self._result: Optional[SimulationResult] = None
         self.faults_injected = 0
         self.rollbacks = 0
-        self.wasted_time = 0.0
+        # fault-lifecycle state
+        self._recovery: Optional[_RecoveryEpisode] = None
+        self._recovery_event = None
+        self._recovery_rng = self.engine.rngs.get("__recovery__")
+        self._invalid_seqs: set[int] = set()
+        self._aborted = False
+        self._abort_time = 0.0
+        self._spares_left = self.policy.n_spares
+        self.nested_faults = 0
+        self.torn_checkpoints = 0
+        self.verify_failures = 0
+        self.escalations = 0
+        self.recovery_attempts = 0
+        self.requeues = 0
+        self.waste_rework = 0.0
+        self.waste_downtime = 0.0
+        self.waste_requeue = 0.0
 
         program0 = self.appbeo.build(0, nranks, self.params)
         for r in range(nranks):
@@ -388,17 +488,37 @@ class BESSTSimulator:
     #: level), node losses need partner/RS/PFS protection (Table I)
     MIN_LEVEL_FOR_KIND = {"software": 1, "node": 2}
 
-    def inject_fault(self, node: int, kind: str = "software") -> None:
-        """Coordinated, level-aware failure handling.
+    @property
+    def wasted_time(self) -> float:
+        """Total fault-attributable waste (rework + downtime + requeue)."""
+        return self.waste_rework + self.waste_downtime + self.waste_requeue
 
-        Every rank rolls back to the newest *globally committed*
-        checkpoint whose level covers the fault *kind* — or to the very
-        beginning when no surviving checkpoint does (an L1-only run hit
-        by a node loss restarts from scratch, the cost-benefit asymmetry
-        Table I's levels trade against).  Recovery pays the ArchBEO
-        downtime plus one read-back of the chosen checkpoint.
+    @property
+    def state(self) -> str:
+        """Lifecycle state: running | recovering | requeued | aborted | done."""
+        if self._aborted:
+            return "aborted"
+        if self._result is not None or self._finished == self.nranks:
+            return "done"
+        if self._recovery is not None:
+            return "requeued" if self._recovery.requeued else "recovering"
+        return "running"
+
+    # -- fault lifecycle ---------------------------------------------------------------
+
+    def inject_fault(self, node: int, kind: str = "software") -> None:
+        """Coordinated, level-aware, lifecycle-realistic failure handling.
+
+        Starts (or re-enters, for nested faults) a recovery episode:
+        every rank rolls back to the newest *globally committed*
+        checkpoint whose level covers the fault *kind* and whose data
+        survived torn writes — or to the very beginning when no surviving
+        checkpoint does.  Each attempt pays the ArchBEO downtime plus one
+        read-back of the chosen checkpoint; failed verifications escalate
+        L1 → L2 → L4 → full restart, and exhausted attempts abort and
+        requeue the job (see :class:`RecoveryPolicy`).
         """
-        if self._finished == self.nranks:
+        if self._aborted or self._finished == self.nranks:
             return
         min_level = self.MIN_LEVEL_FOR_KIND.get(kind)
         if min_level is None:
@@ -406,26 +526,195 @@ class BESSTSimulator:
                 f"unknown fault kind {kind!r}; expected "
                 f"{sorted(self.MIN_LEVEL_FOR_KIND)}"
             )
+        if self._recovery is not None and self._recovery.requeued:
+            # The job is sitting in the scheduler queue: node failures
+            # during the resubmission window do not hit it.
+            return
         self.faults_injected += 1
         now = self.engine.now
+        self._handle_torn(now, node)
+        # Pause the whole job: collectives, batches, pending resumes.
         self.sync.reset(self.engine)
+        for rank in self._ranks:
+            rank.pause()
         self._finished = 0
-        delay_base = self.archbeo.recovery_time_s
+        if self._recovery is not None:
+            # Nested fault: the recovery in flight is itself interrupted.
+            # Re-enter recovery, paying fresh downtime; the episode's
+            # attempt budget keeps accumulating so fault storms terminate.
+            self.nested_faults += 1
+            if self._recovery_event is not None:
+                self.engine.cancel(self._recovery_event)
+                self._recovery_event = None
+            episode = self._recovery
+            if _KIND_SEVERITY[kind] > _KIND_SEVERITY[episode.kind]:
+                episode.kind = kind
+                # A worse kind shrinks the candidate set; refresh the
+                # ladder so no rung points at an uncovered checkpoint.
+                episode.ladder = self._candidate_ladder(kind)
+            # The episode's fault_time and credited rework stand: ranks
+            # are paused during recovery, so the nested fault exposes no
+            # new lost progress — only fresh downtime (charged below).
+        else:
+            self._recovery = _RecoveryEpisode(
+                kind=kind, fault_time=now, ladder=self._candidate_ladder(kind)
+            )
+        self._start_attempt()
+
+    def _handle_torn(self, now: float, node: int) -> None:
+        """Invalidate checkpoints torn by a fault at *now*.
+
+        The in-progress instance never commits (its batch is cancelled).
+        Additionally, with in-place L1 writes, a rank mid-L1-checkpoint
+        on the failed node has already destroyed its previous local copy;
+        if that previous committed checkpoint is only L1-protected, the
+        whole instance becomes unusable as a restart point (L1 recovery
+        needs every node's copy).
+        """
+        for rank in self._ranks:
+            level = rank.checkpoint_in_progress(now)
+            if level is None:
+                continue
+            self.torn_checkpoints += 1
+            if (
+                level == 1
+                and self.policy.l1_inplace_writes
+                and self.archbeo.node_of_rank(rank.rank) == node
+            ):
+                seq = rank.ckpt_seq
+                if seq > 0 and rank.restart_history[seq][4] == 1:
+                    self._invalid_seqs.add(seq)
+
+    def _candidate_ladder(self, kind: str) -> list[int]:
+        """Restart candidates, newest-first along the escalation ladder.
+
+        One rung per protection tier (L1, L2, L4) at or above the fault
+        kind's minimum level, each resolved to the newest globally
+        committed, non-torn checkpoint covered by that tier; the final
+        rung is always 0 — full restart from the input deck.
+        """
+        min_level = self.MIN_LEVEL_FOR_KIND[kind]
         seq_star = min(r.ckpt_seq for r in self._ranks)
-        chosen = 0
+        committed: list[tuple[int, int]] = []
         for seq in range(seq_star, 0, -1):
+            if seq in self._invalid_seqs:
+                continue
             entries = [r.restart_history.get(seq) for r in self._ranks]
             if any(e is None for e in entries):
                 continue
-            if entries[0][4] >= min_level:
-                chosen = seq
-                break
-        for rank in self._ranks:
-            _, _, t_ckpt, ckpt_cost, _level = rank.restart_history[chosen]
-            self.wasted_time += (now - t_ckpt) / self.nranks
-            rank.rollback(chosen, delay_base + ckpt_cost)
-        self.wasted_time += delay_base
+            committed.append((seq, entries[0][4]))
+        ladder: list[int] = []
+        for tier in (1, 2, 4):
+            if tier < min_level:
+                continue
+            for seq, level in committed:
+                if level >= tier:
+                    if seq not in ladder:
+                        ladder.append(seq)
+                    break
+        ladder.append(0)
+        return ladder
+
+    def _start_attempt(self) -> None:
+        """Begin one recovery attempt: roll back, pay downtime, verify."""
+        episode = self._recovery
+        episode.attempts += 1
+        if episode.attempts > self.policy.max_attempts:
+            self._requeue_or_abort()
+            return
+        self.recovery_attempts += 1
+        seq = episode.ladder[min(episode.rung, len(episode.ladder) - 1)]
+        delay = self.archbeo.recovery_time_s + self.policy.retry_extra_delay(
+            episode.attempts
+        )
+        self._charge_rework(episode, seq)
+        self.waste_downtime += delay
         self.rollbacks += 1
+        # Verification is scheduled before the per-rank resumes so it
+        # fires first on timestamp ties (deterministic seq ordering).
+        self._recovery_event = self.engine.schedule(
+            delay, self._verify_attempt, payload=seq
+        )
+        for rank in self._ranks:
+            ckpt_cost = rank.restart_history[seq][3]
+            rank.rollback(seq, delay + ckpt_cost)
+
+    def _charge_rework(self, episode: _RecoveryEpisode, seq: int) -> None:
+        """Charge newly exposed lost progress (relative to the episode's
+        latest fault) to the rework-waste bucket, without double-counting
+        across escalating attempts."""
+        lost = sum(
+            (episode.fault_time - rank.restart_history[seq][2]) / self.nranks
+            for rank in self._ranks
+        )
+        if lost > episode.rework_credited:
+            self.waste_rework += lost - episode.rework_credited
+            episode.rework_credited = lost
+
+    def _verify_attempt(self, ev: Event) -> None:
+        """Read-back verification at the end of one recovery attempt."""
+        self._recovery_event = None
+        episode = self._recovery
+        seq = ev.payload
+        ok = (
+            seq == 0  # restart from the input deck: nothing to verify
+            or self.policy.verify_fail_prob <= 0.0
+            or float(self._recovery_rng.random()) >= self.policy.verify_fail_prob
+        )
+        if ok:
+            # Checkpoints discarded by the rollback may get their sequence
+            # numbers reused; drop their stale torn-markers.
+            self._invalid_seqs = {q for q in self._invalid_seqs if q <= seq}
+            self._recovery = None
+            return  # ranks resume on their already-scheduled events
+        self.verify_failures += 1
+        self.escalations += 1
+        episode.rung += 1
+        for rank in self._ranks:
+            rank.pause()  # cancel the resumes; stay in recovery
+        self._start_attempt()
+
+    def _requeue_or_abort(self) -> None:
+        """Recovery exhausted: resubmit the job, or give up."""
+        episode = self._recovery
+        if self.requeues >= self.policy.max_requeues:
+            self._abort()
+            return
+        self.requeues += 1
+        delay = self.policy.requeue_delay_s
+        if episode.kind == "node":
+            if self._spares_left > 0:
+                self._spares_left -= 1
+                delay += self.policy.spare_swap_s
+            else:
+                # Graceful degradation: no spare left — stall for a full
+                # node rebuild instead of failing the resubmission.
+                delay += self.policy.spare_rebuild_s
+        self.waste_requeue += delay
+        self._charge_rework(episode, 0)
+        self.rollbacks += 1
+        episode.requeued = True
+        self._recovery_event = self.engine.schedule(delay, self._requeue_done)
+
+    def _requeue_done(self, ev: Event) -> None:
+        """The resubmitted job starts from the input deck."""
+        self._recovery_event = None
+        self._recovery = None
+        self._invalid_seqs.clear()
+        if self.fault_injector is not None:
+            self.fault_injector.notify_requeue()
+        for rank in self._ranks:
+            rank.rollback(0, 0.0)
+
+    def _abort(self) -> None:
+        """Requeues exhausted: the job is lost.  Ranks stay paused, the
+        event queue drains, and :meth:`run` reports ``completed=False``
+        instead of raising."""
+        self._aborted = True
+        self._abort_time = self.engine.now
+        self._recovery = None
+        if self.fault_injector is not None:
+            self.fault_injector.detach()
 
     # -- run --------------------------------------------------------------------------------
 
@@ -434,15 +723,22 @@ class BESSTSimulator:
         if self._result is not None:
             return self._result
         self.engine.run(max_events=max_events)
-        unfinished = [r.rank for r in self._ranks if not r.done]
-        if unfinished:
-            raise RuntimeError(
-                f"simulation ended with unfinished ranks {unfinished[:5]}"
-            )
+        if not self._aborted:
+            unfinished = [r.rank for r in self._ranks if not r.done]
+            if unfinished:
+                raise RuntimeError(
+                    f"simulation ended with unfinished ranks {unfinished[:5]}"
+                )
         tl0 = self._ranks[0].timeline
         self._result = SimulationResult(
-            total_time=max(r.finish_time for r in self._ranks),
-            finish_times=[r.finish_time for r in self._ranks],
+            total_time=(
+                self._abort_time
+                if self._aborted
+                else max(r.finish_time for r in self._ranks)
+            ),
+            finish_times=(
+                [] if self._aborted else [r.finish_time for r in self._ranks]
+            ),
             timelines={r.rank: r.timeline for r in self._ranks if r.record},
             nranks=self.nranks,
             events_fired=self.engine.events_fired,
@@ -452,5 +748,15 @@ class BESSTSimulator:
             faults_injected=self.faults_injected,
             rollbacks=self.rollbacks,
             wasted_time=self.wasted_time,
+            completed=not self._aborted,
+            nested_faults=self.nested_faults,
+            torn_checkpoints=self.torn_checkpoints,
+            verify_failures=self.verify_failures,
+            escalations=self.escalations,
+            recovery_attempts=self.recovery_attempts,
+            requeues=self.requeues,
+            waste_rework=self.waste_rework,
+            waste_downtime=self.waste_downtime,
+            waste_requeue=self.waste_requeue,
         )
         return self._result

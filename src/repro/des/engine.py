@@ -129,14 +129,16 @@ class Engine:
                 t = self.queue.peek_time()
                 if t == float("inf") or t > end:
                     break
+                if max_events is not None and fired_this_run >= max_events:
+                    # Checked before the pop so events_fired counts only
+                    # events whose handlers actually ran.
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible livelock)"
+                    )
                 ev = self.queue.pop()
                 self.now = ev.time
                 self.events_fired += 1
                 fired_this_run += 1
-                if max_events is not None and fired_this_run > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (possible livelock)"
-                    )
                 if self.trace:
                     self.trace_log.append(
                         (ev.time, ev.priority, ev.seq, ev.src, ev.dst)

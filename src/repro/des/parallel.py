@@ -162,14 +162,17 @@ class ParallelEngine(Engine):
                         t = q.peek_time()
                         if t == float("inf") or t >= window_end or t > end:
                             break
+                        if max_events is not None and fired_this_run >= max_events:
+                            # Same accounting as the sequential engine: the
+                            # limit trips before the pop, so events_fired
+                            # only counts events whose handlers ran.
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}"
+                            )
                         ev = q.pop()
                         self.now = ev.time
                         self.events_fired += 1
                         fired_this_run += 1
-                        if max_events is not None and fired_this_run > max_events:
-                            raise SimulationError(
-                                f"exceeded max_events={max_events}"
-                            )
                         if self.trace:
                             self.trace_log.append(
                                 (ev.time, ev.priority, ev.seq, ev.src, ev.dst)

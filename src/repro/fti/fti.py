@@ -81,6 +81,8 @@ class FTI:
         #: (ckpt_id) -> {rank: blob length}; FTI metadata, kept redundantly
         self._lengths: dict[int, dict[int, int]] = {}
         self.receipts: list[CheckpointReceipt] = []
+        #: checkpoint instances torn by faults mid-write
+        self.torn_events = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -178,6 +180,24 @@ class FTI:
         """Simulate concurrent failure of *nodes* (local data lost)."""
         for n in nodes:
             self.local[n].fail()
+
+    def torn_checkpoint(self, level: CheckpointLevel | int, nodes: Iterable[int]) -> None:
+        """A fault interrupted a level-*level* checkpoint while *nodes*
+        were writing their node-local files in place.
+
+        The interrupted write destroys the previous committed copy of
+        that level on each writing node; redundancy held by *other* nodes
+        (partner copies, RS parity, the PFS) survives.  Afterwards
+        :meth:`can_recover` degrades exactly like the real library: a
+        torn L1 is unrecoverable, a torn L2 still recovers via partners.
+        """
+        level = CheckpointLevel(level)
+        ckpt_id = self.latest.get(level)
+        if ckpt_id is None:
+            return
+        for n in nodes:
+            self.local[n].torn_write(f"own/{level.value}/{ckpt_id}")
+        self.torn_events += 1
 
     def repair_nodes(self, nodes: Iterable[int]) -> None:
         """Replace failed nodes with blank ones."""

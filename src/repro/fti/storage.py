@@ -28,12 +28,23 @@ class LocalStore:
         self._data: dict[str, bytes] = {}
         self.failed = False
         self.bytes_written = 0
+        self.torn_writes = 0
 
     def write(self, key: str, blob: bytes) -> None:
         if self.failed:
             raise StorageError(f"node {self.node} has failed; write rejected")
         self._data[key] = bytes(blob)
         self.bytes_written += len(blob)
+
+    def torn_write(self, key: str) -> None:
+        """Model an in-place overwrite interrupted mid-write: the previous
+        bytes under *key* are destroyed and nothing valid replaces them.
+
+        Node-local checkpoint files are rewritten in place once storage is
+        tight, so a fault during the write loses old and new data alike.
+        """
+        self._data.pop(key, None)
+        self.torn_writes += 1
 
     def read(self, key: str) -> Optional[bytes]:
         """The stored bytes, or None if missing / node failed."""

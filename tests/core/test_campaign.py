@@ -1,0 +1,108 @@
+"""ResilienceCampaign: survivability statistics and the Young/Daly
+cross-check."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignSpec,
+    ResilienceCampaign,
+    build_campaign_simulator,
+)
+from repro.core.fault_injection import RecoveryPolicy
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CampaignSpec(node_mtbf_s=0, ckpt_period=5)
+    with pytest.raises(ValueError):
+        CampaignSpec(node_mtbf_s=1, ckpt_period=0)
+    with pytest.raises(ValueError):
+        ResilienceCampaign(n_workers=0)
+    s = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, timesteps=40)
+    assert s.work_s == pytest.approx(4.0)
+    assert s.interval_s == pytest.approx(0.5)
+    assert s.system_mtbf_s == pytest.approx(2.0)
+
+
+def test_clean_point_has_no_waste():
+    spec = CampaignSpec(node_mtbf_s=1e9, ckpt_period=5, timesteps=20)
+    p = ResilienceCampaign(reps=3).run_point(spec)
+    assert p.completion_probability == 1.0
+    assert p.mean_faults == 0.0
+    assert p.waste["rework"] == 0.0
+    assert p.waste["downtime"] == 0.0
+    assert p.waste["requeue"] == 0.0
+    assert p.waste["checkpoint"] > 0.0
+    assert p.expected_makespan > spec.work_s
+
+
+def test_grid_shape_and_json_roundtrip():
+    camp = ResilienceCampaign(reps=3, base_seed=0)
+    report = camp.run_grid([6.0, 20.0], [5, 10], timesteps=20)
+    assert len(report.points) == 4
+    d = json.loads(report.to_json())
+    assert d["reps"] == 3
+    assert len(d["points"]) == 4
+    for p in d["points"]:
+        assert set(p["waste"]) == {"rework", "downtime", "checkpoint", "requeue"}
+        assert 0.0 <= p["completion_probability"] <= 1.0
+        assert "predicted_waste_s" in p["youngdaly"]
+    # the formatted table mentions every sweep value
+    table = report.format()
+    assert "6.0" in table and "20.0" in table
+
+
+def test_fault_pressure_monotonicity():
+    camp = ResilienceCampaign(reps=8, base_seed=0, policy=RecoveryPolicy.legacy())
+    report = camp.run_grid([4.0, 64.0], [5], timesteps=30)
+    hot, cold = report.points
+    assert hot.mean_faults > cold.mean_faults
+    assert hot.expected_makespan > cold.expected_makespan
+    assert hot.faults_per_completion > cold.faults_per_completion
+
+
+def test_hostile_regime_loses_jobs_without_hanging():
+    """Fault storms against a strict policy abort some replicas; the
+    campaign still terminates and reports the losses."""
+    policy = RecoveryPolicy(
+        verify_fail_prob=0.6,
+        max_attempts=1,
+        max_requeues=0,
+        retry_delay_s=0.0,
+    )
+    spec = CampaignSpec(node_mtbf_s=1.0, ckpt_period=5, timesteps=30)
+    p = ResilienceCampaign(reps=10, base_seed=0, policy=policy).run_point(spec)
+    assert p.completion_probability < 1.0
+    # aborted replicas are excluded from the makespan statistics
+    done = [r for r in p.replicas if r["completed"]]
+    assert len(done) == round(p.completion_probability * 10)
+    if done:
+        assert p.expected_makespan == pytest.approx(
+            sum(r["total_time"] for r in done) / len(done)
+        )
+
+
+def test_youngdaly_crosscheck_within_documented_tolerance():
+    """Under the legacy policy (the regime Young/Daly models: every
+    recovery is one successful rollback to the latest checkpoint) the
+    simulated waste must sit within the documented 2x band of the
+    analytical expectation at moderate fault rates."""
+    camp = ResilienceCampaign(reps=25, base_seed=0, policy=RecoveryPolicy.legacy())
+    p = camp.run_point(CampaignSpec(node_mtbf_s=16.0, ckpt_period=5, timesteps=40))
+    assert p.completion_probability == 1.0  # legacy never aborts
+    ratio = p.youngdaly["ratio"]
+    assert 0.5 <= ratio <= 2.0
+
+
+def test_build_campaign_simulator_is_reusable():
+    spec = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, timesteps=10)
+    sim = build_campaign_simulator(spec, seed=0, policy=RecoveryPolicy.legacy())
+    res = sim.run(max_events=1_000_000)
+    assert res.completed
+    clean = build_campaign_simulator(
+        spec, seed=0, policy=RecoveryPolicy.legacy(), inject=False
+    ).run(max_events=1_000_000)
+    assert clean.faults_injected == 0
+    assert clean.total_time >= spec.work_s

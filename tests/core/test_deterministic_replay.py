@@ -1,0 +1,113 @@
+"""Deterministic replay: identical seeds must reproduce identical runs.
+
+The fault lifecycle adds several RNG consumers (failure interarrivals,
+fault kinds, read-back verification); these tests pin the property that
+every stream is derived from explicit seeds, so reruns — sequential or
+process-parallel — are bit-identical.
+"""
+
+import pytest
+
+from repro.core import (
+    AppBEO,
+    ArchBEO,
+    BESSTSimulator,
+    Checkpoint,
+    Collective,
+    Compute,
+    FaultInjector,
+    FaultModel,
+    RecoveryPolicy,
+)
+from repro.core.campaign import CampaignSpec, ResilienceCampaign
+from repro.models import ConstantModel
+from repro.network import FullyConnected
+
+
+def replay_app(n_steps=25):
+    def builder(rank, nranks, params):
+        body = []
+        for ts in range(1, n_steps + 1):
+            body.append(Compute.of("k"))
+            if ts % 5 == 0:
+                body.append(Checkpoint.of(2, "ckpt"))
+            body.append(Collective("allreduce", nbytes=8))
+        return body
+
+    return AppBEO("replay", builder)
+
+
+def run_once(seed, with_injector=True, policy=None):
+    arch = ArchBEO("m", topology=FullyConnected(8), cores_per_node=2)
+    arch.bind("k", ConstantModel(0.1))
+    arch.bind("ckpt", ConstantModel(0.05))
+    arch.recovery_time_s = 0.2
+    fi = (
+        FaultInjector(
+            FaultModel(node_mtbf_s=4.0, software_fraction=0.7),
+            nnodes=4,
+            seed=seed + 17,
+        )
+        if with_injector
+        else None
+    )
+    sim = BESSTSimulator(
+        replay_app(),
+        arch,
+        nranks=8,
+        seed=seed,
+        monte_carlo=False,
+        fault_injector=fi,
+        recovery_policy=policy
+        or RecoveryPolicy(verify_fail_prob=0.2, requeue_delay_s=2.0),
+    )
+    res = sim.run(max_events=5_000_000)
+    return res, fi
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_identical_seeds_replay_identically(seed):
+    a, fa = run_once(seed)
+    b, fb = run_once(seed)
+    # byte-identical fault event logs: same times, nodes and kinds
+    assert fa.log.entries == fb.log.entries
+    assert a.total_time == b.total_time
+    assert a.rollbacks == b.rollbacks
+    assert a.faults_injected == b.faults_injected
+    assert a.verify_failures == b.verify_failures
+    assert a.requeues == b.requeues
+    assert a.wasted_time == b.wasted_time
+    assert a.completed == b.completed
+
+
+def test_replay_without_injector():
+    a, _ = run_once(5, with_injector=False)
+    b, _ = run_once(5, with_injector=False)
+    assert a.faults_injected == 0
+    assert a.total_time == b.total_time
+    assert a.events_fired == b.events_fired
+
+
+def test_campaign_parallel_matches_sequential():
+    """The process-parallel campaign path must be bit-identical to the
+    in-process one (replicas are pure functions of (spec, policy, seed))."""
+    spec = CampaignSpec(node_mtbf_s=6.0, ckpt_period=5, timesteps=25)
+    policy = RecoveryPolicy(verify_fail_prob=0.1, requeue_delay_s=2.0)
+    seq = ResilienceCampaign(reps=4, base_seed=0, policy=policy, n_workers=1)
+    par = ResilienceCampaign(reps=4, base_seed=0, policy=policy, n_workers=2)
+
+    p_seq = seq.run_point(spec)
+    p_par = par.run_point(spec)
+    assert p_seq.to_dict() == p_par.to_dict()
+    # per-replica fault logs too, not just the aggregates
+    for a, b in zip(p_seq.replicas, p_par.replicas):
+        assert a == b
+
+
+def test_campaign_seed_changes_results():
+    spec = CampaignSpec(node_mtbf_s=6.0, ckpt_period=5, timesteps=25)
+    a = ResilienceCampaign(reps=3, base_seed=0).run_point(spec)
+    b = ResilienceCampaign(reps=3, base_seed=100).run_point(spec)
+    logs_a = [r["fault_log"] for r in a.replicas]
+    logs_b = [r["fault_log"] for r in b.replicas]
+    assert logs_a != logs_b

@@ -115,8 +115,13 @@ def make_arch():
 
 
 def run_with_faults(scenario, mtbf, seed=0, n_steps=20):
+    # classic Case-2/4 semantics: every fault is recoverable from the
+    # last checkpoint (software crash); level-aware node-loss mixes are
+    # exercised by the extension and lifecycle tests
     arch = make_arch()
-    fi = FaultInjector(FaultModel(node_mtbf_s=mtbf), nnodes=4, seed=seed)
+    fi = FaultInjector(
+        FaultModel(node_mtbf_s=mtbf, software_fraction=1.0), nnodes=4, seed=seed
+    )
     sim = BESSTSimulator(
         ft_app(n_steps, scenario),
         arch,
@@ -181,8 +186,38 @@ def test_fault_injector_attach_once():
     BESSTSimulator(
         ft_app(1), make_arch(), nranks=8, fault_injector=fi
     )
+    # attaching while attached is still an error...
     with pytest.raises(RuntimeError):
         BESSTSimulator(ft_app(1), make_arch(), nranks=8, fault_injector=fi)
+    # ...but detach() releases the binding for reuse
+    fi.detach()
+    assert fi.sim is None
+    BESSTSimulator(ft_app(1), make_arch(), nranks=8, fault_injector=fi)
+
+
+def test_fault_injector_reset_rebuilds_replicas():
+    """One injector, reset per replica, reproduces a fresh injector's
+    exact failure stream — the Monte-Carlo reuse pattern."""
+    def run_once(fi):
+        sim = BESSTSimulator(
+            ft_app(20, scenario_l1(5)), make_arch(), nranks=8,
+            fault_injector=fi, monte_carlo=False,
+        )
+        return sim.run(max_events=5_000_000)
+
+    fresh = [
+        run_once(FaultInjector(FaultModel(node_mtbf_s=4.0), nnodes=4, seed=s))
+        for s in (3, 4)
+    ]
+    reused = FaultInjector(FaultModel(node_mtbf_s=4.0), nnodes=4, seed=3)
+    got = []
+    for s in (3, 4):
+        reused.reset(seed=s)
+        got.append(run_once(reused))
+    for a, b in zip(fresh, got):
+        assert a.total_time == b.total_time
+        assert a.faults_injected == b.faults_injected
+        assert a.rollbacks == b.rollbacks
 
 
 def test_fault_injector_validation():

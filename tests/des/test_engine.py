@@ -164,6 +164,22 @@ def test_max_events_guard():
     r.engine.schedule(0.0, loop)
     with pytest.raises(SimulationError):
         eng.run(max_events=100)
+    # the counter reports only events whose handlers actually ran
+    assert eng.events_fired == 100
+
+
+def test_max_events_exact_budget_completes():
+    """A run needing exactly max_events handlers must not trip the guard."""
+    eng = Engine()
+    r = eng.register(Recorder("r"))
+    for i in range(10):
+        r.schedule(float(i), lambda ev: None)
+    eng.run(max_events=10)
+    assert eng.events_fired == 10
+    # a subsequent run gets a fresh budget
+    r.schedule(100.0, lambda ev: None)
+    eng.run(max_events=1)
+    assert eng.events_fired == 11
 
 
 def test_cancel_via_engine():

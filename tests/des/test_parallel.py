@@ -151,6 +151,14 @@ def test_invalid_nparts():
         ParallelEngine(nparts=0)
 
 
+def test_parallel_max_events_counts_fired_handlers():
+    eng = ParallelEngine(nparts=2, seed=0)
+    build_ring(eng, n=8, laps=100)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=50)
+    assert eng.events_fired == 50
+
+
 # -- partitioning ------------------------------------------------------------
 
 

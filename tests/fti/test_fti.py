@@ -306,3 +306,40 @@ def test_l2_recoverability_matches_partner_rule(seed, nfail, copies):
         any(p not in failed for p in lay.partners_of_node(n)) for n in failed
     )
     assert fti.can_recover(2) == expected
+
+
+# -- torn checkpoints --------------------------------------------------------------
+
+
+def test_torn_l1_write_destroys_previous_copy():
+    """A fault mid-L1-rewrite loses old and new data on the writing
+    node: the committed L1 instance becomes unrecoverable."""
+    fti = make_fti()
+    data = rank_data(16, tag=0)
+    fti.checkpoint(data, 1)
+    assert fti.can_recover(1)
+    fti.torn_checkpoint(1, nodes=[0])
+    assert fti.torn_events == 1
+    assert fti.local[0].torn_writes == 1
+    assert not fti.can_recover(1)
+    with pytest.raises(RecoveryError):
+        fti.recover(1)
+
+
+def test_torn_l2_write_recovers_via_partner_copies():
+    """Tearing a node's own L2 file leaves partner copies intact, so
+    recovery degrades but still succeeds — the escalation ladder's
+    rationale for retrying one level up."""
+    fti = make_fti()
+    data = rank_data(16, tag=1)
+    fti.checkpoint(data, 2)
+    fti.torn_checkpoint(2, nodes=[0, 3])
+    assert fti.can_recover(2)
+    assert fti.recover(2) == data
+
+
+def test_torn_checkpoint_without_commit_is_noop():
+    fti = make_fti()
+    fti.torn_checkpoint(1, nodes=[0])
+    assert fti.torn_events == 0
+    assert fti.local[0].torn_writes == 0

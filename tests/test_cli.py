@@ -23,6 +23,50 @@ def test_abl4_runs(capsys):
     assert "identical=True" in out
 
 
+def test_campaign_runs_and_writes_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "campaign.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "2",
+                "--mtbf", "8", "32",
+                "--periods", "5",
+                "--timesteps", "10",
+                "--json", str(path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "RESILIENCE CAMPAIGN" in out
+    report = json.loads(path.read_text())
+    assert len(report["points"]) == 2
+    for point in report["points"]:
+        assert 0.0 <= point["completion_probability"] <= 1.0
+        assert set(point["waste"]) == {"rework", "downtime", "checkpoint", "requeue"}
+        assert "youngdaly" in point
+
+
+def test_campaign_legacy_policy_flag(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "2",
+                "--mtbf", "16",
+                "--periods", "5",
+                "--timesteps", "10",
+                "--legacy-policy",
+            ]
+        )
+        == 0
+    )
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+
+
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
