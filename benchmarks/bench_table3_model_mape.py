@@ -1,7 +1,7 @@
 """TAB3 — instance-model MAPE (paper: 6.64% / 16.68% / 14.50%)."""
 
 from benchmarks.conftest import emit
-from repro.exps.table3 import PAPER_TABLE3, format_table3, instance_model_mape
+from repro.exps.table3 import format_table3, instance_model_mape
 
 
 def test_table3_instance_model_mape(benchmark, ctx):

@@ -11,6 +11,10 @@ Failure rates are accelerated (node MTBF of seconds) so a ~4-second
 simulated job experiences failures; the dynamics are the same as
 week-long jobs on month-MTBF machines.
 
+Long sweeps should pass ``journal_path=`` so a killed run resumes
+without recomputing completed replicas — see
+``examples/crash_safe_campaign.py`` for the full kill/chaos/resume tour.
+
 Run:  python examples/resilience_campaign.py        (seconds)
 """
 

@@ -10,7 +10,6 @@ MTBF grows instead of shrinking with node count.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.analytical.speedup import amdahl_speedup, gustafson_speedup
 from repro.analytical.youngdaly import young_interval

@@ -6,18 +6,26 @@ Examples::
     python -m repro fig7 --reps 5
     python -m repro fig9 --reps 2
     python -m repro campaign --mtbf 8 16 --periods 5 10 --json out.json
+    python -m repro campaign --journal run.wal.jsonl --json out.json
+    python -m repro campaign --journal run.wal.jsonl --resume --json out.json
     python -m repro fit-models --out quartz_models.json
     python -m repro list
 
 Heavy experiments accept ``--reps`` (Monte-Carlo replicas) and ``--seed``;
-``list`` shows every available target with its paper artifact.
+``list`` shows every available target with its paper artifact.  The
+campaign runner is crash-safe: with ``--journal`` every completed
+replica is durably logged, ``--resume`` skips completed replicas
+bit-identically after a kill, and ``--chaos-*`` flags inject harness
+faults (worker crash/hang/garbage) to exercise the supervisor.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Optional, Sequence
+import tempfile
+from typing import Optional, Sequence
 
 _EXPERIMENTS: dict[str, tuple[str, str]] = {
     "fig1": ("Fig. 1", "CMT-bone on Vulcan benchmark-vs-sim DSE"),
@@ -95,6 +103,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="atomic recovery (no verification/escalation/requeue)",
     )
     camp.add_argument("--json", dest="json_out", help="write full report JSON here")
+    camp.add_argument(
+        "--journal",
+        help="write-ahead journal path: every completed replica is "
+        "durably recorded and never recomputed",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --journal (reps/seed/policy come from its header)",
+    )
+    camp.add_argument(
+        "--partial-report",
+        action="store_true",
+        help="only aggregate and print what --journal already holds, then exit",
+    )
+    camp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-replica timeout in seconds (hung workers are reaped)",
+    )
+    camp.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="failed attempts per replica before quarantine",
+    )
+    camp.add_argument(
+        "--chaos-crash", type=float, default=0.0,
+        help="probability a worker attempt crashes (harness fault injection)",
+    )
+    camp.add_argument(
+        "--chaos-hang", type=float, default=0.0,
+        help="probability a worker attempt hangs (pair with --timeout)",
+    )
+    camp.add_argument(
+        "--chaos-garbage", type=float, default=0.0,
+        help="probability a worker attempt returns garbage",
+    )
+    camp.add_argument(
+        "--chaos-seed", type=int, default=0, help="harness fault injection seed"
+    )
 
     fit = sub.add_parser(
         "fit-models", help="run Model Development and save the fitted models"
@@ -203,22 +253,77 @@ def _run_experiment(name: str, seed: int, reps: int) -> str:
     raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
 
 
+def _write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Creates missing parent directories; a crash mid-write can never
+    leave a truncated or absent report behind an existing one.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 def _run_campaign(args) -> str:
     from repro.core.campaign import ResilienceCampaign
     from repro.core.fault_injection import RecoveryPolicy
+    from repro.core.supervisor import HarnessFaultInjector, RetryPolicy
 
-    policy = RecoveryPolicy.legacy() if args.legacy_policy else RecoveryPolicy()
-    camp = ResilienceCampaign(
-        reps=args.reps,
-        base_seed=args.seed,
-        policy=policy,
-        n_workers=args.workers,
-    )
-    report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
+    if (args.resume or args.partial_report) and not args.journal:
+        raise SystemExit("campaign: --resume/--partial-report require --journal")
+    if args.partial_report:
+        return ResilienceCampaign.report_from_journal(args.journal).format()
+
+    retry = RetryPolicy(max_retries=args.retries, timeout_s=args.timeout)
+    injector = None
+    if args.chaos_crash or args.chaos_hang or args.chaos_garbage:
+        injector = HarnessFaultInjector(
+            crash_prob=args.chaos_crash,
+            hang_prob=args.chaos_hang,
+            garbage_prob=args.chaos_garbage,
+            seed=args.chaos_seed,
+        )
+    if args.resume:
+        camp = ResilienceCampaign.resume(
+            args.journal,
+            n_workers=args.workers,
+            retry=retry,
+            fault_injector=injector,
+        )
+    else:
+        policy = (
+            RecoveryPolicy.legacy() if args.legacy_policy else RecoveryPolicy()
+        )
+        camp = ResilienceCampaign(
+            reps=args.reps,
+            base_seed=args.seed,
+            policy=policy,
+            n_workers=args.workers,
+            retry=retry,
+            journal_path=args.journal,
+            fault_injector=injector,
+        )
+    try:
+        report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
+    finally:
+        camp.close()
     if args.json_out:
-        with open(args.json_out, "w") as fh:
-            fh.write(report.to_json())
-    return report.format()
+        _write_text_atomic(args.json_out, report.to_json())
+    lines = [report.format()]
+    stats = camp.harness_stats
+    if stats.retries or stats.pool_rebuilds or stats.quarantined:
+        lines.append(f"harness: {stats.summary()}")
+    return "\n".join(lines)
 
 
 def _fit_models(out: str, seed: int, all_levels: bool) -> str:

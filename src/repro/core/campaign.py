@@ -19,12 +19,21 @@ Workloads are the synthetic SPMD pattern used throughout the test suite
 (compute → optional checkpoint → allreduce per timestep) so each grid
 point is a pure function of its :class:`CampaignSpec` — which is what
 makes the process-parallel path bit-identical to the sequential one.
+
+Execution is **crash-safe** (see :mod:`repro.core.supervisor`): replicas
+are individually scheduled tasks with timeouts, retries and a failure
+taxonomy, a dying worker rebuilds the pool instead of discarding the
+sweep, and — with a ``journal_path`` — every completed replica is
+durably appended to a write-ahead journal keyed by a spec hash, so
+:meth:`ResilienceCampaign.resume` (or ``campaign --resume``) skips
+completed replicas bit-identically after a kill.  Partial results are
+reportable at any time via :meth:`ResilienceCampaign.report_from_journal`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
@@ -34,8 +43,15 @@ from repro.analytical.youngdaly import expected_waste
 from repro.core.beo import AppBEO, ArchBEO
 from repro.core.fault_injection import FaultInjector, FaultModel, RecoveryPolicy
 from repro.core.instructions import Checkpoint, Collective, Compute
-from repro.core.montecarlo import MonteCarloRunner
+from repro.core.montecarlo import MonteCarloRunner, derive_seeds
 from repro.core.simulator import BESSTSimulator
+from repro.core.supervisor import (
+    HarnessFaultInjector,
+    RetryPolicy,
+    SupervisorStats,
+    TaskSupervisor,
+    WriteAheadJournal,
+)
 from repro.models import ConstantModel
 from repro.network import FullyConnected
 
@@ -133,11 +149,36 @@ def build_campaign_simulator(
 #: event budget per replica; aborts make runs short, fault storms long
 _REPLICA_MAX_EVENTS = 20_000_000
 
+#: keys every replica metrics dict must carry (the supervisor's result
+#: validator — an injected-garbage return fails this and is retried)
+_REPLICA_KEYS = frozenset(
+    {
+        "seed",
+        "completed",
+        "total_time",
+        "faults",
+        "rollbacks",
+        "nested_faults",
+        "torn_checkpoints",
+        "verify_failures",
+        "escalations",
+        "requeues",
+        "waste_rework",
+        "waste_downtime",
+        "waste_requeue",
+        "checkpoint_time",
+        "fault_log",
+    }
+)
+
 
 def _run_replica(payload: tuple) -> dict:
     """One Monte-Carlo replica → a slim, picklable metrics dict.
 
     Module-level so :class:`ProcessPoolExecutor` can ship it to workers.
+    A pure function of its payload: retrying it (after a worker crash,
+    hang or injected harness fault) reproduces the original result
+    bit-identically.
     """
     spec, policy, seed = payload
     sim = build_campaign_simulator(spec, seed, policy)
@@ -161,12 +202,104 @@ def _run_replica(payload: tuple) -> dict:
     }
 
 
+def _is_replica_result(value) -> bool:
+    return isinstance(value, dict) and _REPLICA_KEYS <= value.keys()
+
+
+def campaign_spec_key(spec: CampaignSpec, policy: RecoveryPolicy) -> str:
+    """Stable hash of (spec, policy) — the journal's grid-point key."""
+    blob = json.dumps(
+        {"spec": asdict(spec), "policy": asdict(policy)}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# -- write-ahead journal (campaign semantics over WriteAheadJournal) -------------
+
+
+class CampaignJournal:
+    """Spec-hash-keyed replica journal backing ``--resume``.
+
+    Record kinds: ``point`` (one per grid point, carrying the spec) and
+    ``replica`` (one fsynced record per completed replica).  Reopening
+    with a different (reps, base_seed, policy) raises
+    :class:`repro.core.supervisor.JournalError`.
+    """
+
+    def __init__(
+        self, path: str, reps: int, base_seed: int, policy: RecoveryPolicy
+    ) -> None:
+        meta = {
+            "campaign": "resilience",
+            "reps": reps,
+            "base_seed": base_seed,
+            "policy": asdict(policy),
+        }
+        self._wal = WriteAheadJournal(path, meta)
+        self.points: dict[str, dict] = {}
+        self.replicas: dict[str, dict[int, dict]] = {}
+        for rec in self._wal.records:
+            self._index(rec)
+
+    def _index(self, rec: dict) -> None:
+        if rec.get("kind") == "point":
+            self.points[rec["spec_key"]] = rec["spec"]
+        elif rec.get("kind") == "replica":
+            self.replicas.setdefault(rec["spec_key"], {})[
+                int(rec["replica"])
+            ] = rec["result"]
+
+    def ensure_point(self, spec_key: str, spec: CampaignSpec) -> None:
+        if spec_key not in self.points:
+            rec = {"kind": "point", "spec_key": spec_key, "spec": asdict(spec)}
+            self._wal.append(rec)
+            self._index(rec)
+
+    def record_replica(
+        self, spec_key: str, replica: int, seed: int, result: dict
+    ) -> None:
+        rec = {
+            "kind": "replica",
+            "spec_key": spec_key,
+            "replica": replica,
+            "seed": seed,
+            "result": result,
+        }
+        self._wal.append(rec)
+        self._index(rec)
+
+    def completed(self, spec_key: str) -> dict[int, dict]:
+        return self.replicas.get(spec_key, {})
+
+    def close(self) -> None:
+        self._wal.close()
+
+    @staticmethod
+    def read(path: str):
+        """Load ``(meta, points, replicas)`` without opening for append."""
+        meta, records = WriteAheadJournal.read(path)
+        points: dict[str, dict] = {}
+        replicas: dict[str, dict[int, dict]] = {}
+        for rec in records:
+            if rec.get("kind") == "point":
+                points[rec["spec_key"]] = rec["spec"]
+            elif rec.get("kind") == "replica":
+                replicas.setdefault(rec["spec_key"], {})[
+                    int(rec["replica"])
+                ] = rec["result"]
+        return meta, points, replicas
+
+
+# -- reports ---------------------------------------------------------------------
+
+
 @dataclass
 class CampaignPointReport:
     """Aggregated survivability statistics of one grid point."""
 
     spec: CampaignSpec
-    reps: int
+    reps: int                            #: replicas configured
+    replicas_done: int                   #: replicas actually available
     completion_probability: float
     expected_makespan: Optional[float]   #: mean over completed replicas
     makespan_p95: Optional[float]
@@ -180,10 +313,15 @@ class CampaignPointReport:
     youngdaly: dict                      #: analytical cross-check
     replicas: list = field(default_factory=list, repr=False)
 
+    @property
+    def partial(self) -> bool:
+        return self.replicas_done < self.reps
+
     def to_dict(self) -> dict:
         d = {
             "spec": asdict(self.spec),
             "reps": self.reps,
+            "replicas_done": self.replicas_done,
             "completion_probability": self.completion_probability,
             "expected_makespan": self.expected_makespan,
             "makespan_p95": self.makespan_p95,
@@ -206,12 +344,14 @@ class CampaignReport:
     points: list[CampaignPointReport]
     reps: int
     base_seed: int
+    partial: bool = False  #: some grid point has replicas_done < reps
 
     def to_dict(self) -> dict:
         return {
             "campaign": "resilience",
             "reps": self.reps,
             "base_seed": self.base_seed,
+            "partial": self.partial,
             "points": [p.to_dict() for p in self.points],
         }
 
@@ -220,10 +360,11 @@ class CampaignReport:
 
     def format(self) -> str:
         """Human-readable summary table."""
+        tag = ", PARTIAL" if self.partial else ""
         lines = [
             "RESILIENCE CAMPAIGN "
-            f"({self.reps} replicas/point, base seed {self.base_seed})",
-            f"{'mtbf/node':>10s} {'period':>7s} {'P(done)':>8s} "
+            f"({self.reps} replicas/point, base seed {self.base_seed}{tag})",
+            f"{'mtbf/node':>10s} {'period':>7s} {'done':>7s} {'P(done)':>8s} "
             f"{'makespan':>9s} {'faults':>7s} {'waste r/d/c/q':>24s} {'YD ratio':>9s}",
         ]
         for p in self.points:
@@ -234,6 +375,7 @@ class CampaignReport:
             yd = f"{ratio:.2f}" if ratio is not None else "-"
             lines.append(
                 f"{p.spec.node_mtbf_s:>10.1f} {p.spec.ckpt_period:>7d} "
+                f"{p.replicas_done:>3d}/{p.reps:<3d} "
                 f"{p.completion_probability:>8.2f} {mk:>9s} {fpc:>7s} "
                 f"{w['rework']:>6.3f}/{w['downtime']:.3f}/{w['checkpoint']:.3f}/{w['requeue']:.3f}"
                 f" {yd:>9s}"
@@ -241,20 +383,119 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _youngdaly_check(spec: CampaignSpec, replicas: list[dict]) -> dict:
+    """Compare mean simulated waste with the Young/Daly expectation.
+
+    The analytical model prices exactly what the simulator charges to
+    waste + checkpoint overhead: E[runtime] − work.  ``ratio`` is
+    simulated/predicted; at moderate fault rates (a handful of faults
+    per run) it should sit within ±50 % (see tests/docs), the renewal
+    approximation's documented accuracy band here.
+    """
+    predicted = expected_waste(
+        spec.work_s,
+        spec.interval_s,
+        spec.ckpt_cost_s,
+        spec.system_mtbf_s,
+        restart_cost=spec.recovery_time_s,
+    )
+    completed = [r for r in replicas if r["completed"]]
+    if not completed:
+        return {
+            "interval_s": spec.interval_s,
+            "predicted_waste_s": predicted,
+            "simulated_waste_s": None,
+            "ratio": None,
+        }
+    simulated = float(
+        np.mean(
+            [
+                r["waste_rework"]
+                + r["waste_downtime"]
+                + r["waste_requeue"]
+                + r["checkpoint_time"]
+                for r in completed
+            ]
+        )
+    )
+    return {
+        "interval_s": spec.interval_s,
+        "predicted_waste_s": predicted,
+        "simulated_waste_s": simulated,
+        "ratio": simulated / predicted if predicted > 0 else None,
+    }
+
+
+def aggregate_point(
+    spec: CampaignSpec, replicas: list[dict], reps: int
+) -> CampaignPointReport:
+    """Aggregate available replica metrics into one point report.
+
+    Safe on any replica subset: an empty list (nothing run yet, or all
+    quarantined) and an all-aborted point both serialize cleanly —
+    no NaN and no division by zero anywhere in the waste breakdown or
+    faults-per-completion.
+    """
+    n_avail = len(replicas)
+    completed = [r for r in replicas if r["completed"]]
+    n_done = len(completed)
+    makespans = np.array([r["total_time"] for r in completed])
+    total_faults = sum(r["faults"] for r in replicas)
+
+    def mean(key: str) -> float:
+        return float(np.mean([r[key] for r in replicas])) if replicas else 0.0
+
+    waste = {
+        "rework": mean("waste_rework"),
+        "downtime": mean("waste_downtime"),
+        "checkpoint": mean("checkpoint_time"),
+        "requeue": mean("waste_requeue"),
+    }
+    return CampaignPointReport(
+        spec=spec,
+        reps=reps,
+        replicas_done=n_avail,
+        completion_probability=(n_done / n_avail) if n_avail else 0.0,
+        expected_makespan=float(makespans.mean()) if n_done else None,
+        makespan_p95=float(np.percentile(makespans, 95)) if n_done else None,
+        faults_per_completion=(total_faults / n_done) if n_done else None,
+        mean_faults=mean("faults"),
+        mean_nested_faults=mean("nested_faults"),
+        mean_torn_checkpoints=mean("torn_checkpoints"),
+        mean_verify_failures=mean("verify_failures"),
+        mean_requeues=mean("requeues"),
+        waste=waste,
+        youngdaly=_youngdaly_check(spec, replicas),
+        replicas=replicas,
+    )
+
+
+# -- the campaign runner ---------------------------------------------------------
+
+
 class ResilienceCampaign(MonteCarloRunner):
-    """Process-parallel Monte-Carlo sweep of fault survivability.
+    """Crash-safe, process-parallel Monte-Carlo sweep of fault survivability.
 
     Parameters
     ----------
     reps / base_seed:
         As in :class:`MonteCarloRunner`; replica *i* of every grid point
-        runs with seed ``base_seed + i``.
+        runs with an independent seed explicitly derived from
+        ``base_seed`` (:func:`repro.core.montecarlo.derive_seeds`).
     policy:
         The :class:`RecoveryPolicy` applied to every replica.
     n_workers:
         Worker processes; 1 (default) runs in-process.  Both paths
         produce byte-identical reports (replicas are pure functions of
         ``(spec, policy, seed)``).
+    retry:
+        Supervisor :class:`RetryPolicy` (timeouts, backoff, quarantine).
+    journal_path:
+        Write-ahead journal; every completed replica is durably recorded
+        and never recomputed on a rerun/resume with the same journal.
+    fault_injector:
+        Optional :class:`HarnessFaultInjector` for chaos testing the
+        harness itself (workers only; never the supervisor process).
     """
 
     def __init__(
@@ -263,57 +504,130 @@ class ResilienceCampaign(MonteCarloRunner):
         base_seed: int = 0,
         policy: Optional[RecoveryPolicy] = None,
         n_workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        journal_path: Optional[str] = None,
+        fault_injector: Optional[HarnessFaultInjector] = None,
     ) -> None:
         super().__init__(reps=reps, base_seed=base_seed)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.policy = policy or RecoveryPolicy()
         self.n_workers = n_workers
+        self.retry = retry or RetryPolicy()
+        self.fault_injector = fault_injector
+        self.journal_path = journal_path
+        self._journal: Optional[CampaignJournal] = None
+        #: accumulated supervisor telemetry (kept out of report JSON so
+        #: resumed and uninterrupted runs stay bit-identical)
+        self.harness_stats = SupervisorStats()
+
+    @classmethod
+    def resume(
+        cls,
+        journal_path: str,
+        n_workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        fault_injector: Optional[HarnessFaultInjector] = None,
+    ) -> "ResilienceCampaign":
+        """Rebuild a campaign from a journal's header (reps/seed/policy).
+
+        Calling :meth:`run_grid` with the original grid then recomputes
+        only the replicas the journal is missing.
+        """
+        meta, _, _ = CampaignJournal.read(journal_path)
+        return cls(
+            reps=meta["reps"],
+            base_seed=meta["base_seed"],
+            policy=RecoveryPolicy(**meta["policy"]),
+            n_workers=n_workers,
+            retry=retry,
+            journal_path=journal_path,
+            fault_injector=fault_injector,
+        )
+
+    @staticmethod
+    def report_from_journal(journal_path: str) -> CampaignReport:
+        """Aggregate whatever the journal holds — partial or complete.
+
+        Usable at any time, including while another process is mid-sweep
+        or after a kill; points missing replicas are flagged via
+        ``replicas_done`` and the report-level ``partial`` bit.
+        """
+        meta, points, replicas = CampaignJournal.read(journal_path)
+        reps = int(meta["reps"])
+        reports = []
+        for spec_key, spec_dict in points.items():
+            done = replicas.get(spec_key, {})
+            ordered = [done[i] for i in sorted(done)]
+            reports.append(
+                aggregate_point(CampaignSpec(**spec_dict), ordered, reps)
+            )
+        return CampaignReport(
+            points=reports,
+            reps=reps,
+            base_seed=int(meta["base_seed"]),
+            partial=any(p.partial for p in reports),
+        )
 
     # -- execution ---------------------------------------------------------------
 
+    def _get_journal(self) -> Optional[CampaignJournal]:
+        if self.journal_path is not None and self._journal is None:
+            self._journal = CampaignJournal(
+                self.journal_path, self.reps, self.base_seed, self.policy
+            )
+        return self._journal
+
     def _run_replicas(self, spec: CampaignSpec) -> list[dict]:
-        payloads = [
-            (spec, self.policy, self.base_seed + i) for i in range(self.reps)
+        seeds = derive_seeds(self.base_seed, self.reps)
+        spec_key = campaign_spec_key(spec, self.policy)
+        journal = self._get_journal()
+        done: dict[int, dict] = {}
+        if journal is not None:
+            journal.ensure_point(spec_key, spec)
+            done = dict(journal.completed(spec_key))
+
+        tasks = [
+            (f"{spec_key}:{i}", (spec, self.policy, seeds[i]))
+            for i in range(self.reps)
+            if i not in done
         ]
-        if self.n_workers == 1:
-            return [_run_replica(p) for p in payloads]
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            return list(pool.map(_run_replica, payloads))
+        fresh: dict[int, dict] = {}
+        if tasks:
+            on_result = None
+            if journal is not None:
+
+                def on_result(key: str, result: dict) -> None:
+                    idx = int(key.rsplit(":", 1)[1])
+                    journal.record_replica(spec_key, idx, seeds[idx], result)
+
+            supervisor = TaskSupervisor(
+                _run_replica,
+                n_workers=self.n_workers,
+                retry=self.retry,
+                validate=_is_replica_result,
+                on_result=on_result,
+                fault_injector=self.fault_injector,
+                seed=self.base_seed,
+            )
+            out = supervisor.run(tasks)
+            self.harness_stats.merge(out.stats)
+            fresh = {
+                int(key.rsplit(":", 1)[1]): value
+                for key, value in out.results.items()
+            }
+        replicas = []
+        for i in range(self.reps):
+            if i in done:
+                replicas.append(done[i])
+            elif i in fresh:
+                replicas.append(fresh[i])
+            # quarantined replicas are missing: reported via replicas_done
+        return replicas
 
     def run_point(self, spec: CampaignSpec) -> CampaignPointReport:
         """Run every replica of one grid point and aggregate."""
-        replicas = self._run_replicas(spec)
-        completed = [r for r in replicas if r["completed"]]
-        n_done = len(completed)
-        makespans = np.array([r["total_time"] for r in completed])
-        total_faults = sum(r["faults"] for r in replicas)
-
-        def mean(key: str) -> float:
-            return float(np.mean([r[key] for r in replicas]))
-
-        waste = {
-            "rework": mean("waste_rework"),
-            "downtime": mean("waste_downtime"),
-            "checkpoint": mean("checkpoint_time"),
-            "requeue": mean("waste_requeue"),
-        }
-        return CampaignPointReport(
-            spec=spec,
-            reps=self.reps,
-            completion_probability=n_done / self.reps,
-            expected_makespan=float(makespans.mean()) if n_done else None,
-            makespan_p95=float(np.percentile(makespans, 95)) if n_done else None,
-            faults_per_completion=(total_faults / n_done) if n_done else None,
-            mean_faults=mean("faults"),
-            mean_nested_faults=mean("nested_faults"),
-            mean_torn_checkpoints=mean("torn_checkpoints"),
-            mean_verify_failures=mean("verify_failures"),
-            mean_requeues=mean("requeues"),
-            waste=waste,
-            youngdaly=self._youngdaly_check(spec, replicas),
-            replicas=replicas,
-        )
+        return aggregate_point(spec, self._run_replicas(spec), self.reps)
 
     def run_grid(
         self,
@@ -329,48 +643,15 @@ class ResilienceCampaign(MonteCarloRunner):
             for m in mtbfs
             for p in periods
         ]
-        return CampaignReport(points=points, reps=self.reps, base_seed=self.base_seed)
-
-    # -- analytical cross-check -----------------------------------------------------
-
-    def _youngdaly_check(self, spec: CampaignSpec, replicas: list[dict]) -> dict:
-        """Compare mean simulated waste with the Young/Daly expectation.
-
-        The analytical model prices exactly what the simulator charges to
-        waste + checkpoint overhead: E[runtime] − work.  ``ratio`` is
-        simulated/predicted; at moderate fault rates (a handful of faults
-        per run) it should sit within ±50 % (see tests/docs), the renewal
-        approximation's documented accuracy band here.
-        """
-        predicted = expected_waste(
-            spec.work_s,
-            spec.interval_s,
-            spec.ckpt_cost_s,
-            spec.system_mtbf_s,
-            restart_cost=spec.recovery_time_s,
+        return CampaignReport(
+            points=points,
+            reps=self.reps,
+            base_seed=self.base_seed,
+            partial=any(p.partial for p in points),
         )
-        completed = [r for r in replicas if r["completed"]]
-        if not completed:
-            return {
-                "interval_s": spec.interval_s,
-                "predicted_waste_s": predicted,
-                "simulated_waste_s": None,
-                "ratio": None,
-            }
-        simulated = float(
-            np.mean(
-                [
-                    r["waste_rework"]
-                    + r["waste_downtime"]
-                    + r["waste_requeue"]
-                    + r["checkpoint_time"]
-                    for r in completed
-                ]
-            )
-        )
-        return {
-            "interval_s": spec.interval_s,
-            "predicted_waste_s": predicted,
-            "simulated_waste_s": simulated,
-            "ratio": simulated / predicted if predicted > 0 else None,
-        }
+
+    def close(self) -> None:
+        """Release the journal file handle (safe to call repeatedly)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None

@@ -7,9 +7,7 @@ validation regions of Figs. 5-8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
-
-import numpy as np
+from typing import Mapping
 
 from repro.models.metrics import mape, percent_error
 

@@ -11,11 +11,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.core.beo import ArchBEO
-from repro.core.ft import FTScenario
 from repro.core.montecarlo import MonteCarloResult, MonteCarloRunner
 from repro.core.simulator import BESSTSimulator
 from repro.models.calibration import (

@@ -18,8 +18,8 @@ import numpy as np
 
 from repro.core.beo import ArchBEO
 from repro.core.ft import NO_FT, FTScenario, scenario_l1, scenario_l1_l2
-from repro.core.montecarlo import Distribution, MonteCarloResult, MonteCarloRunner
-from repro.core.simulator import BESSTSimulator, SimulationResult
+from repro.core.montecarlo import MonteCarloResult, MonteCarloRunner
+from repro.core.simulator import BESSTSimulator
 from repro.core.workflow import ModelDevelopment, ModelDevelopmentResult, build_archbeo
 from repro.apps.lulesh import lulesh_appbeo
 from repro.models.symreg import GPConfig

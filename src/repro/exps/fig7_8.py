@@ -12,7 +12,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.ft import FTScenario
 from repro.exps.casestudy import (
     CASE_TIMESTEPS,
     CaseStudyContext,

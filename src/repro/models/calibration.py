@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-import numpy as np
-
 from repro.models.base import PerformanceModel
 from repro.models.dataset import BenchmarkDataset
 from repro.models.lut import LookupTableModel

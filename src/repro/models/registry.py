@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.models.base import ConstantModel, ModelError, PerformanceModel
 from repro.models.dataset import BenchmarkDataset

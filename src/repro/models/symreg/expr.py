@@ -9,7 +9,7 @@ hygiene requirement that keeps fitness evaluation total.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping
 
 import numpy as np
 

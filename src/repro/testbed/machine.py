@@ -10,13 +10,12 @@ these truths, exactly as it would only see timer output on Quartz.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.ft import FTScenario
-from repro.models.dataset import BenchmarkDataset
 from repro.network.topology import Topology
 
 

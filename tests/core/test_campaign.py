@@ -96,6 +96,57 @@ def test_youngdaly_crosscheck_within_documented_tolerance():
     assert 0.5 <= ratio <= 2.0
 
 
+def test_worker_count_edges():
+    """0 workers is rejected; 1 worker (in-process) is the baseline."""
+    with pytest.raises(ValueError):
+        ResilienceCampaign(n_workers=0)
+    spec = CampaignSpec(node_mtbf_s=16.0, ckpt_period=5, timesteps=10)
+    p = ResilienceCampaign(reps=2, n_workers=1).run_point(spec)
+    assert p.replicas_done == 2
+
+
+def test_empty_grid_serializes():
+    report = ResilienceCampaign(reps=2).run_grid([], [5], timesteps=10)
+    assert report.points == []
+    assert not report.partial
+    d = json.loads(report.to_json())
+    assert d["points"] == []
+    assert "RESILIENCE CAMPAIGN" in report.format()
+
+
+def test_single_replica_point():
+    spec = CampaignSpec(node_mtbf_s=1e9, ckpt_period=5, timesteps=10)
+    p = ResilienceCampaign(reps=1).run_point(spec)
+    assert p.reps == 1 and p.replicas_done == 1
+    assert p.completion_probability == 1.0
+    assert p.expected_makespan == p.makespan_p95  # one sample
+    json.dumps(p.to_dict())
+
+
+def test_all_replicas_abort_serializes_cleanly():
+    """completion probability 0.0: no NaN/div-by-zero in the waste
+    breakdown or faults-per-completion."""
+    policy = RecoveryPolicy(
+        verify_fail_prob=0.99, max_attempts=1, max_requeues=0, retry_delay_s=0.0
+    )
+    spec = CampaignSpec(node_mtbf_s=0.2, ckpt_period=5, timesteps=30)
+    p = ResilienceCampaign(reps=4, base_seed=0, policy=policy).run_point(spec)
+    assert p.completion_probability == 0.0
+    assert p.expected_makespan is None
+    assert p.makespan_p95 is None
+    assert p.faults_per_completion is None
+    assert p.youngdaly["simulated_waste_s"] is None
+    assert all(w >= 0.0 for w in p.waste.values())
+    text = json.dumps(p.to_dict())
+    assert "NaN" not in text and "Infinity" not in text
+    # and the whole-grid report formats/serializes too
+    report = ResilienceCampaign(reps=4, base_seed=0, policy=policy).run_grid(
+        [0.2], [5], timesteps=30
+    )
+    assert "NaN" not in report.to_json()
+    report.format()
+
+
 def test_build_campaign_simulator_is_reusable():
     spec = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, timesteps=10)
     sim = build_campaign_simulator(spec, seed=0, policy=RecoveryPolicy.legacy())

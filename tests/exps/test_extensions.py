@@ -169,8 +169,6 @@ def test_ext6_abft_vs_checkpointing():
 
 def test_ext7_granularity():
     from repro.exps.extensions import format_ext7, granularity_ablation
-    from repro.models.symreg import GPConfig
-    import repro.core.workflow as wf
 
     rows = granularity_ablation(ranks=8, epr=5, timesteps=30, reps=2, seed=3)
     by = {r.granularity: r for r in rows}

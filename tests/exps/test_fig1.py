@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exps.fig1 import Fig1Point, cmtbone_dse, format_fig1
+from repro.exps.fig1 import cmtbone_dse, format_fig1
 
 
 @pytest.fixture(scope="module")

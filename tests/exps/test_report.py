@@ -1,7 +1,5 @@
 """Report generator (fast sections only)."""
 
-from pathlib import Path
-
 from repro.exps.report import _SECTIONS, generate_report
 
 

@@ -1,7 +1,5 @@
 """Tests for LogGP point-to-point and collective cost models."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

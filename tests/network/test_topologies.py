@@ -1,7 +1,5 @@
 """Tests for topology structure: fat tree, torus, fully connected."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

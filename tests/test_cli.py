@@ -67,6 +67,91 @@ def test_campaign_legacy_policy_flag(capsys):
     assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
 
 
+def test_campaign_json_creates_parent_dirs_atomically(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "deep" / "nested" / "dir" / "campaign.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "2",
+                "--mtbf", "16",
+                "--periods", "5",
+                "--timesteps", "10",
+                "--json", str(path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    report = json.loads(path.read_text())
+    assert len(report["points"]) == 1
+    # the temp file used for the atomic replace is gone
+    assert [p.name for p in path.parent.iterdir()] == ["campaign.json"]
+
+
+def test_write_text_atomic_never_truncates_existing(tmp_path, monkeypatch):
+    from repro.cli import _write_text_atomic
+
+    target = tmp_path / "out.json"
+    target.write_text("precious")
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash at replace time")
+
+    import repro.cli as cli_mod
+
+    monkeypatch.setattr(cli_mod.os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        _write_text_atomic(str(target), "new content")
+    assert target.read_text() == "precious"  # old report untouched
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]  # no temp litter
+
+
+def test_campaign_resume_requires_journal(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--resume"])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--partial-report"])
+
+
+def test_campaign_journal_resume_and_partial_report(tmp_path, capsys):
+    journal = str(tmp_path / "wal.jsonl")
+    args = ["campaign", "--reps", "2", "--mtbf", "16", "--periods", "5",
+            "--timesteps", "10", "--journal", journal]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main([*args, "--resume"]) == 0
+    resumed = capsys.readouterr().out
+    assert resumed == first
+    assert main(["campaign", "--journal", journal, "--partial-report"]) == 0
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+
+
+def test_campaign_chaos_flags_survive_injected_crashes(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "3",
+                "--mtbf", "16",
+                "--periods", "5",
+                "--timesteps", "10",
+                "--workers", "2",
+                "--chaos-crash", "0.3",
+                "--chaos-seed", "2",
+                "--retries", "15",
+                "--timeout", "30",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "RESILIENCE CAMPAIGN" in out
+    assert " 3/3 " in out  # nothing lost despite the chaos
+
+
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
