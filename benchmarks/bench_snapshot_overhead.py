@@ -1,0 +1,89 @@
+"""SNAPSHOT — overhead of periodic in-simulation checkpointing.
+
+Times the same fault-injected application run with auto-snapshotting
+off and on (full simulator state pickled to disk every
+``SNAPSHOT_EVERY`` fired events), and asserts the snapshotting run stays
+within ``OVERHEAD_BOUND`` of the plain one: self-healing must be cheap
+enough to leave enabled on long campaigns.  The plain reference is
+re-timed before every snapshotting round (pedantic ``setup``) so slow
+allocator/cache drift over the process lifetime hits both sides alike;
+min-vs-min is then the standard noise-robust comparison.  The ratio
+lands in the benchmark JSON (``extra_info``) so the perf trajectory
+captures it.
+"""
+
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import emit
+from repro.core.campaign import CampaignSpec, build_campaign_simulator
+from repro.core.fault_injection import RecoveryPolicy
+
+SPEC = CampaignSpec(node_mtbf_s=30.0, ckpt_period=5, timesteps=2000)
+SEED = 0
+#: a full-state pickle costs roughly constant time per snapshot, so the
+#: cadence (snapshots per unit of simulated work) is what the bound
+#: actually constrains; one snapshot across this replica keeps the
+#: assertion far from measurement noise while still timing the real
+#: capture + persist path
+SNAPSHOT_EVERY = 100_000
+
+#: snapshotting / plain wall-time must stay under this
+OVERHEAD_BOUND = 1.3
+
+
+def _run_plain():
+    return build_campaign_simulator(SPEC, SEED, RecoveryPolicy()).run()
+
+
+def _run_snapshotting(directory: str):
+    sim = build_campaign_simulator(SPEC, SEED, RecoveryPolicy())
+    sim.enable_snapshots(directory, every_events=SNAPSHOT_EVERY, keep=2)
+    return sim.run()
+
+
+def test_snapshot_overhead(benchmark):
+    workdir = tempfile.mkdtemp(prefix="repro-snap-bench-")
+    plain_times = []
+
+    def timed_plain_setup():
+        t0 = time.perf_counter()
+        timed_plain_setup.result = _run_plain()
+        plain_times.append(time.perf_counter() - t0)
+        return (), {}
+
+    try:
+        _run_plain()  # warm imports/allocator for both paths
+        _run_snapshotting(workdir)
+        snap_res = benchmark.pedantic(
+            lambda: _run_snapshotting(workdir),
+            setup=timed_plain_setup,
+            rounds=5,
+            iterations=1,
+        )
+        plain_res = timed_plain_setup.result
+        plain_s = min(plain_times)
+        snap_s = benchmark.stats.stats.min
+        ratio = snap_s / plain_s
+
+        # snapshotting must not perturb the simulation itself
+        assert snap_res.total_time == plain_res.total_time
+        assert snap_res.events_fired == plain_res.events_fired
+
+        snapshots_taken = plain_res.events_fired // SNAPSHOT_EVERY
+        assert snapshots_taken >= 1, "cadence too sparse to measure anything"
+        benchmark.extra_info["plain_s"] = plain_s
+        benchmark.extra_info["snapshotting_s"] = snap_s
+        benchmark.extra_info["overhead_ratio"] = ratio
+        benchmark.extra_info["snapshots_taken"] = snapshots_taken
+        emit(
+            benchmark,
+            "snapshot-overhead",
+            f"plain: {plain_s:.3f}s  snapshotting: {snap_s:.3f}s  "
+            f"ratio: {ratio:.2f}x (bound {OVERHEAD_BOUND}x, "
+            f"{snapshots_taken} snapshots @ every {SNAPSHOT_EVERY} events)",
+        )
+        assert ratio < OVERHEAD_BOUND
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

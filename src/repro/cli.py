@@ -22,6 +22,7 @@ faults (worker crash/hang/garbage) to exercise the supervisor.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -144,6 +145,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--chaos-seed", type=int, default=0, help="harness fault injection seed"
+    )
+    camp.add_argument(
+        "--sim-snapshot-dir",
+        help="directory for per-replica in-simulation snapshots; a "
+        "retried/killed replica resumes mid-simulation from its newest "
+        "snapshot (requires --sim-snapshot-every)",
+    )
+    camp.add_argument(
+        "--sim-snapshot-every",
+        type=int,
+        default=None,
+        help="snapshot each replica's simulator every N fired events "
+        "(requires --sim-snapshot-dir)",
     )
 
     fit = sub.add_parser(
@@ -274,15 +288,21 @@ def _write_text_atomic(path: str, text: str) -> None:
         raise
 
 
-def _run_campaign(args) -> str:
+def _run_campaign(args) -> tuple[str, int]:
+    """Run the campaign; returns ``(stdout text, exit code)``."""
     from repro.core.campaign import ResilienceCampaign
     from repro.core.fault_injection import RecoveryPolicy
     from repro.core.supervisor import HarnessFaultInjector, RetryPolicy
 
     if (args.resume or args.partial_report) and not args.journal:
         raise SystemExit("campaign: --resume/--partial-report require --journal")
+    if (args.sim_snapshot_dir is None) != (args.sim_snapshot_every is None):
+        raise SystemExit(
+            "campaign: --sim-snapshot-dir and --sim-snapshot-every must be "
+            "given together"
+        )
     if args.partial_report:
-        return ResilienceCampaign.report_from_journal(args.journal).format()
+        return ResilienceCampaign.report_from_journal(args.journal).format(), 0
 
     retry = RetryPolicy(max_retries=args.retries, timeout_s=args.timeout)
     injector = None
@@ -293,12 +313,17 @@ def _run_campaign(args) -> str:
             garbage_prob=args.chaos_garbage,
             seed=args.chaos_seed,
         )
+    snapshot_kwargs = dict(
+        sim_snapshot_dir=args.sim_snapshot_dir,
+        sim_snapshot_every=args.sim_snapshot_every,
+    )
     if args.resume:
         camp = ResilienceCampaign.resume(
             args.journal,
             n_workers=args.workers,
             retry=retry,
             fault_injector=injector,
+            **snapshot_kwargs,
         )
     else:
         policy = (
@@ -312,6 +337,7 @@ def _run_campaign(args) -> str:
             retry=retry,
             journal_path=args.journal,
             fault_injector=injector,
+            **snapshot_kwargs,
         )
     try:
         report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
@@ -323,7 +349,22 @@ def _run_campaign(args) -> str:
     stats = camp.harness_stats
     if stats.retries or stats.pool_rebuilds or stats.quarantined:
         lines.append(f"harness: {stats.summary()}")
-    return "\n".join(lines)
+    code = 0
+    if report.points and all(p.replicas_done == 0 for p in report.points):
+        # Every replica of every grid point was quarantined: the report
+        # carries no data.  Emit a machine-readable error summary on
+        # stderr and fail the process so schedulers/CI notice.
+        summary = {
+            "error": "campaign-produced-no-results",
+            "detail": "every replica was quarantined after exhausting retries",
+            "points": len(report.points),
+            "reps": camp.reps,
+            "quarantined": sorted(stats.quarantined),
+            "failure_kinds": dict(sorted(stats.by_kind.items())),
+        }
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        code = 3
+    return "\n".join(lines), code
 
 
 def _fit_models(out: str, seed: int, all_levels: bool) -> str:
@@ -365,8 +406,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<8s} {artifact:<10s} {desc}")
         return 0
     if args.command == "campaign":
-        print(_run_campaign(args))
-        return 0
+        text, code = _run_campaign(args)
+        print(text)
+        return code
     if args.command == "fit-models":
         print(_fit_models(args.out, args.seed, args.all_levels))
         return 0

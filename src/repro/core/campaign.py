@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
 from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
@@ -52,6 +54,7 @@ from repro.core.supervisor import (
     TaskSupervisor,
     WriteAheadJournal,
 )
+from repro.des.snapshot import SnapshotStore
 from repro.models import ConstantModel
 from repro.network import FullyConnected
 
@@ -95,10 +98,19 @@ class CampaignSpec:
         return self.node_mtbf_s / self.nnodes
 
 
-def build_campaign_app(spec: CampaignSpec) -> AppBEO:
-    """The campaign's synthetic SPMD workload."""
+class CampaignWorkload:
+    """The campaign's synthetic SPMD program builder.
 
-    def builder(rank, nranks, params):
+    A module-level class (not a closure) so simulators built from it are
+    fully picklable — the property in-simulation snapshot/restore needs
+    to resume a replica mid-run.
+    """
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, rank: int, nranks: int, params) -> list:
+        spec = self.spec
         body = []
         for ts in range(1, spec.timesteps + 1):
             body.append(Compute.of("work"))
@@ -107,7 +119,12 @@ def build_campaign_app(spec: CampaignSpec) -> AppBEO:
             body.append(Collective("allreduce", nbytes=spec.allreduce_bytes))
         return body
 
-    return AppBEO(f"campaign_p{spec.ckpt_period}_l{spec.level}", builder)
+
+def build_campaign_app(spec: CampaignSpec) -> AppBEO:
+    """The campaign's synthetic SPMD workload."""
+    return AppBEO(
+        f"campaign_p{spec.ckpt_period}_l{spec.level}", CampaignWorkload(spec)
+    )
 
 
 def build_campaign_simulator(
@@ -172,17 +189,61 @@ _REPLICA_KEYS = frozenset(
 )
 
 
+@dataclass(frozen=True)
+class ReplicaSnapshotConfig:
+    """In-simulation snapshot cadence for one replica.
+
+    When present in a replica payload, the simulator checkpoints itself
+    into *directory* every *every_events* fired events, and a retried
+    replica (after a timeout, kill or worker crash) resumes from the
+    newest loadable snapshot instead of restarting from ``t=0``.  The
+    resumed metrics are bit-identical to an uninterrupted run, so
+    journals and reports are unaffected by how often a replica died.
+    """
+
+    directory: str
+    every_events: int = 2000
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.every_events < 1:
+            raise ValueError(
+                f"every_events must be >= 1, got {self.every_events}"
+            )
+
+
 def _run_replica(payload: tuple) -> dict:
     """One Monte-Carlo replica → a slim, picklable metrics dict.
 
     Module-level so :class:`ProcessPoolExecutor` can ship it to workers.
     A pure function of its payload: retrying it (after a worker crash,
     hang or injected harness fault) reproduces the original result
-    bit-identically.
+    bit-identically.  With a :class:`ReplicaSnapshotConfig` the retry
+    resumes from the replica's newest in-simulation snapshot rather than
+    recomputing from scratch.
     """
-    spec, policy, seed = payload
-    sim = build_campaign_simulator(spec, seed, policy)
+    spec, policy, seed = payload[:3]
+    snap_cfg: Optional[ReplicaSnapshotConfig] = (
+        payload[3] if len(payload) > 3 else None
+    )
+    sim = None
+    store = None
+    if snap_cfg is not None:
+        store = SnapshotStore(snap_cfg.directory, keep=snap_cfg.keep)
+        latest = store.latest()
+        if latest is not None:
+            sim = BESSTSimulator.restore(latest)
+    if sim is None:
+        sim = build_campaign_simulator(spec, seed, policy)
+        if snap_cfg is not None:
+            sim.enable_snapshots(
+                snap_cfg.directory,
+                every_events=snap_cfg.every_events,
+                keep=snap_cfg.keep,
+            )
     res = sim.run(max_events=_REPLICA_MAX_EVENTS)
+    if store is not None:
+        store.clear()  # completed: the snapshots are dead weight now
     return {
         "seed": seed,
         "completed": res.completed,
@@ -496,6 +557,13 @@ class ResilienceCampaign(MonteCarloRunner):
     fault_injector:
         Optional :class:`HarnessFaultInjector` for chaos testing the
         harness itself (workers only; never the supervisor process).
+    sim_snapshot_dir / sim_snapshot_every:
+        When both are set, each replica checkpoints its *simulator state*
+        into a private subdirectory of ``sim_snapshot_dir`` every
+        ``sim_snapshot_every`` fired events, and a retried replica
+        (timeout, kill, worker crash) resumes mid-simulation from its
+        newest snapshot — complementing the journal, which only skips
+        replicas that already *finished*.
     """
 
     def __init__(
@@ -507,15 +575,23 @@ class ResilienceCampaign(MonteCarloRunner):
         retry: Optional[RetryPolicy] = None,
         journal_path: Optional[str] = None,
         fault_injector: Optional[HarnessFaultInjector] = None,
+        sim_snapshot_dir: Optional[str] = None,
+        sim_snapshot_every: Optional[int] = None,
     ) -> None:
         super().__init__(reps=reps, base_seed=base_seed)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if (sim_snapshot_dir is None) != (sim_snapshot_every is None):
+            raise ValueError(
+                "sim_snapshot_dir and sim_snapshot_every must be set together"
+            )
         self.policy = policy or RecoveryPolicy()
         self.n_workers = n_workers
         self.retry = retry or RetryPolicy()
         self.fault_injector = fault_injector
         self.journal_path = journal_path
+        self.sim_snapshot_dir = sim_snapshot_dir
+        self.sim_snapshot_every = sim_snapshot_every
         self._journal: Optional[CampaignJournal] = None
         #: accumulated supervisor telemetry (kept out of report JSON so
         #: resumed and uninterrupted runs stay bit-identical)
@@ -528,11 +604,15 @@ class ResilienceCampaign(MonteCarloRunner):
         n_workers: int = 1,
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[HarnessFaultInjector] = None,
+        sim_snapshot_dir: Optional[str] = None,
+        sim_snapshot_every: Optional[int] = None,
     ) -> "ResilienceCampaign":
         """Rebuild a campaign from a journal's header (reps/seed/policy).
 
         Calling :meth:`run_grid` with the original grid then recomputes
-        only the replicas the journal is missing.
+        only the replicas the journal is missing — and, with the
+        ``sim_snapshot_*`` options, resumes each unfinished replica from
+        its latest in-simulation snapshot rather than from ``t=0``.
         """
         meta, _, _ = CampaignJournal.read(journal_path)
         return cls(
@@ -543,6 +623,8 @@ class ResilienceCampaign(MonteCarloRunner):
             retry=retry,
             journal_path=journal_path,
             fault_injector=fault_injector,
+            sim_snapshot_dir=sim_snapshot_dir,
+            sim_snapshot_every=sim_snapshot_every,
         )
 
     @staticmethod
@@ -571,6 +653,24 @@ class ResilienceCampaign(MonteCarloRunner):
 
     # -- execution ---------------------------------------------------------------
 
+    def _replica_snapshot_dir(self, spec_key: str, replica) -> str:
+        return os.path.join(self.sim_snapshot_dir, f"{spec_key}-r{replica}")
+
+    def _replica_payload(
+        self, spec: CampaignSpec, spec_key: str, seeds, i: int
+    ) -> tuple:
+        if self.sim_snapshot_dir is None:
+            return (spec, self.policy, seeds[i])
+        return (
+            spec,
+            self.policy,
+            seeds[i],
+            ReplicaSnapshotConfig(
+                directory=self._replica_snapshot_dir(spec_key, i),
+                every_events=self.sim_snapshot_every,
+            ),
+        )
+
     def _get_journal(self) -> Optional[CampaignJournal]:
         if self.journal_path is not None and self._journal is None:
             self._journal = CampaignJournal(
@@ -588,7 +688,7 @@ class ResilienceCampaign(MonteCarloRunner):
             done = dict(journal.completed(spec_key))
 
         tasks = [
-            (f"{spec_key}:{i}", (spec, self.policy, seeds[i]))
+            (f"{spec_key}:{i}", self._replica_payload(spec, spec_key, seeds, i))
             for i in range(self.reps)
             if i not in done
         ]
@@ -601,12 +701,24 @@ class ResilienceCampaign(MonteCarloRunner):
                     idx = int(key.rsplit(":", 1)[1])
                     journal.record_replica(spec_key, idx, seeds[idx], result)
 
+            on_quarantine = None
+            if self.sim_snapshot_dir is not None:
+
+                def on_quarantine(key: str, failures) -> None:
+                    # A poisoned replica never completes; its snapshots
+                    # must not seed a future resume of the same key.
+                    shutil.rmtree(
+                        self._replica_snapshot_dir(spec_key, key.rsplit(":", 1)[1]),
+                        ignore_errors=True,
+                    )
+
             supervisor = TaskSupervisor(
                 _run_replica,
                 n_workers=self.n_workers,
                 retry=self.retry,
                 validate=_is_replica_result,
                 on_result=on_result,
+                on_quarantine=on_quarantine,
                 fault_injector=self.fault_injector,
                 seed=self.base_seed,
             )

@@ -51,6 +51,7 @@ from repro.core.instructions import (
 from repro.des.component import Component
 from repro.des.engine import Engine
 from repro.des.event import Event
+from repro.des.snapshot import AutoSnapshotPolicy, Snapshot, SnapshotError
 
 
 @dataclass
@@ -202,7 +203,12 @@ class _Rank(Component):
         self._pending: Optional[Event] = None
 
     def setup(self) -> None:
-        self._pending = self.schedule(0.0, lambda ev: self.advance())
+        self._pending = self.schedule(0.0, self._on_resume)
+
+    def _on_resume(self, _ev: Event) -> None:
+        # Bound-method resume handler (not a lambda) so the whole rank —
+        # pending events included — stays snapshot-picklable.
+        self.advance()
 
     # -- execution ---------------------------------------------------------------
 
@@ -329,7 +335,7 @@ class _Rank(Component):
             )
         # Track the resume event so a second fault during recovery can
         # cancel it (otherwise the rank would resume twice).
-        self._pending = self.schedule(resume_delay, lambda ev: self.advance())
+        self._pending = self.schedule(resume_delay, self._on_resume)
 
     def pause(self) -> None:
         """Cancel whatever this rank is doing (fault arrived)."""
@@ -715,6 +721,57 @@ class BESSTSimulator:
         self._recovery = None
         if self.fault_injector is not None:
             self.fault_injector.detach()
+
+    # -- snapshot / restore -----------------------------------------------------------------
+
+    def enable_snapshots(
+        self,
+        directory: str,
+        every_events: Optional[int] = None,
+        every_wall_s: Optional[float] = None,
+        keep: int = 2,
+    ) -> AutoSnapshotPolicy:
+        """Checkpoint the *whole simulator* periodically during :meth:`run`.
+
+        The capture root is this simulator (not just its engine), so
+        :meth:`restore` rebuilds ranks, sync domains, recovery state and
+        the fault injector together and the run can simply continue.
+        """
+        return self.engine.enable_autosnapshot(
+            directory,
+            every_events=every_events,
+            every_wall_s=every_wall_s,
+            keep=keep,
+            root=self,
+        )
+
+    def snapshot(self, meta: Optional[dict] = None) -> Snapshot:
+        """Capture the full simulator state between events."""
+        extra = {
+            "sim_time": float(self.engine.now),
+            "events_fired": self.engine.events_fired,
+        }
+        if meta:
+            extra.update(meta)
+        return Snapshot.capture(self, meta=extra)
+
+    @classmethod
+    def restore(cls, source) -> "BESSTSimulator":
+        """Rebuild a simulator from a :class:`Snapshot` or a saved path.
+
+        The returned simulator resumes exactly where the capture stopped:
+        call :meth:`run` to continue to completion.  The final result is
+        byte-identical to a run that was never interrupted.
+        """
+        snap = Snapshot.load(source) if isinstance(source, str) else source
+        sim = snap.restore()
+        if not isinstance(sim, cls):
+            raise SnapshotError(
+                f"snapshot holds a {type(sim).__name__}, expected "
+                f"{cls.__name__} (or a subclass)"
+            )
+        sim.engine._running = False
+        return sim
 
     # -- run --------------------------------------------------------------------------------
 

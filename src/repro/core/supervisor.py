@@ -294,6 +294,11 @@ class TaskSupervisor:
     on_result:
         Called ``on_result(key, result)`` once per *first* completion —
         the write-ahead hook.  Quarantined tasks never reach it.
+    on_quarantine:
+        Called ``on_quarantine(key, failures)`` when a task is poisoned
+        (retries exhausted), with its accumulated :class:`TaskFailure`
+        records — the cleanup hook (e.g. discard the task's partial
+        snapshots so they cannot seed a future resume).
     fault_injector:
         Optional :class:`HarnessFaultInjector` exported to workers for
         the duration of the run (chaos testing).
@@ -308,6 +313,7 @@ class TaskSupervisor:
         retry: Optional[RetryPolicy] = None,
         validate: Optional[Callable[[Any], bool]] = None,
         on_result: Optional[Callable[[str, Any], None]] = None,
+        on_quarantine: Optional[Callable[[str, list], None]] = None,
         fault_injector: Optional[HarnessFaultInjector] = None,
         seed: int = 0,
     ) -> None:
@@ -318,6 +324,7 @@ class TaskSupervisor:
         self.retry = retry or RetryPolicy()
         self.validate = validate
         self.on_result = on_result
+        self.on_quarantine = on_quarantine
         self.fault_injector = fault_injector
         self._rng = random.Random(seed)
 
@@ -511,6 +518,11 @@ class TaskSupervisor:
                     f"quarantined after {task.attempts} failures (last: {kind})",
                 )
             )
+            if self.on_quarantine is not None:
+                self.on_quarantine(
+                    task.key,
+                    [f for f in stats.failures if f.key == task.key],
+                )
             return
         stats.retries += 1
         task.not_before = time.monotonic() + self.retry.backoff_delay(

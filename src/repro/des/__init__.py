@@ -12,9 +12,16 @@ substrate that BE-SST requires from Sandia's Structural Simulation Toolkit:
 * :class:`~repro.des.parallel.ParallelEngine` — a conservative,
   lookahead-window (YAWNS-style) partitioned engine that produces results
   identical to the sequential engine.
+* :class:`~repro.des.snapshot.Snapshot` / :class:`~repro.des.snapshot.SnapshotStore`
+  — versioned, checksummed engine checkpoints with atomic persistence.
+* :class:`~repro.des.replay.EventJournal` / :func:`~repro.des.replay.replay_and_diff`
+  — append-only event journal and the deterministic-replay oracle.
+* :class:`~repro.des.parallel.PartitionFailover` — simulated rank failures
+  with boundary-snapshot recovery and component migration.
 
 The engines are deterministic: given the same components, connections and
-seeds they produce identical event orderings and final states.
+seeds they produce identical event orderings and final states — an
+invariant that survives snapshot/restore and partition failover.
 """
 
 from repro.des.event import Event, EventQueue
@@ -22,9 +29,24 @@ from repro.des.component import Component, Port
 from repro.des.link import Link
 from repro.des.clock import Clock
 from repro.des.engine import Engine, SimulationError
-from repro.des.parallel import ParallelEngine
-from repro.des.partition import partition_components
+from repro.des.parallel import ParallelEngine, PartitionFailover
+from repro.des.partition import migrate_assignment, partition_components
+from repro.des.replay import (
+    EventJournal,
+    ReplayError,
+    ReplayReport,
+    diff_traces,
+    read_journal,
+    replay_and_diff,
+)
 from repro.des.rng import RNGRegistry
+from repro.des.snapshot import (
+    AutoSnapshotPolicy,
+    Snapshot,
+    SnapshotError,
+    SnapshotStore,
+)
+from repro.des.stats import trace_digest
 
 __all__ = [
     "Event",
@@ -36,6 +58,19 @@ __all__ = [
     "Engine",
     "SimulationError",
     "ParallelEngine",
+    "PartitionFailover",
     "partition_components",
+    "migrate_assignment",
     "RNGRegistry",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotStore",
+    "AutoSnapshotPolicy",
+    "EventJournal",
+    "ReplayError",
+    "ReplayReport",
+    "read_journal",
+    "replay_and_diff",
+    "diff_traces",
+    "trace_digest",
 ]

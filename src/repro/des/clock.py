@@ -64,7 +64,6 @@ class Clock:
     def stop(self) -> None:
         """Stop the clock; any pending tick is cancelled."""
         self.running = False
-        if self._pending is not None and not self._pending.cancelled:
-            self._pending.cancel()
-            if self.component.engine is not None:
-                self.component.engine.queue.note_cancelled()
+        if self._pending is not None and self.component.engine is not None:
+            # Engine.cancel keeps queue accounting exact and is idempotent.
+            self.component.engine.cancel(self._pending)

@@ -18,10 +18,17 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.des.event import Event, EventQueue
 from repro.des.rng import RNGRegistry
+from repro.des.snapshot import (
+    AutoSnapshotPolicy,
+    Snapshot,
+    SnapshotError,
+    SnapshotStore,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.component import Component
     from repro.des.link import Link
+    from repro.des.replay import EventJournal
 
 
 class SimulationError(RuntimeError):
@@ -53,6 +60,11 @@ class Engine:
         self._running = False
         self._setup_done = False
         self._finished = False
+        #: optional periodic snapshot cadence (see :meth:`enable_autosnapshot`)
+        self._autosnap: Optional[AutoSnapshotPolicy] = None
+        #: optional append-only journal of fired events (not snapshotted:
+        #: it holds an open file handle; reattach after a restore)
+        self._journal: Optional["EventJournal"] = None
 
     # -- construction -------------------------------------------------------
 
@@ -97,6 +109,66 @@ class Engine:
             event.cancel()
             self.queue.note_cancelled()
 
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self, meta: Optional[dict] = None) -> Snapshot:
+        """Capture full engine state (queue, components, clocks, RNGs).
+
+        The capture is consistent between events; restoring it and
+        continuing yields an event trace byte-identical to a run that
+        was never interrupted.
+        """
+        return Snapshot.capture(self, meta=meta)
+
+    @classmethod
+    def restore(cls, source) -> "Engine":
+        """Rebuild an engine from a :class:`Snapshot` or a saved path.
+
+        The restored engine is ready to ``run()`` onward from the
+        captured point; the event journal (if any was attached) must be
+        reattached by the caller.
+        """
+        snap = Snapshot.load(source) if isinstance(source, str) else source
+        engine = snap.restore()
+        if not isinstance(engine, cls):
+            raise SnapshotError(
+                f"snapshot holds a {type(engine).__name__}, expected "
+                f"{cls.__name__} (or a subclass)"
+            )
+        engine._running = False
+        return engine
+
+    def enable_autosnapshot(
+        self,
+        directory: str,
+        every_events: Optional[int] = None,
+        every_wall_s: Optional[float] = None,
+        keep: int = 2,
+        root=None,
+    ) -> AutoSnapshotPolicy:
+        """Snapshot periodically during :meth:`run` into *directory*.
+
+        Cadence is by fired-event count and/or wall-clock seconds; *root*
+        optionally widens the capture to an owning object (e.g. a
+        simulator) whose graph includes this engine.
+        """
+        self._autosnap = AutoSnapshotPolicy(
+            store=SnapshotStore(directory, keep=keep),
+            every_events=every_events,
+            every_wall_s=every_wall_s,
+            root=root,
+        )
+        return self._autosnap
+
+    def attach_journal(self, journal: "EventJournal") -> None:
+        """Append every subsequently fired event to *journal*."""
+        self._journal = journal
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_journal"] = None  # open file handle: reattach post-restore
+        return state
+
     # -- execution -----------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -125,6 +197,16 @@ class Engine:
                 self._setup_done = True
             end = float("inf") if until is None else float(until)
             fired_this_run = 0
+            # Hoist the cadence test to one int compare per event: the
+            # policy precomputes the events_fired count at which it next
+            # needs a look (snapshotting at ~100k events/s rates must not
+            # tax the hot loop with a method call per event).
+            autosnap = self._autosnap
+            autosnap_check = (
+                autosnap.next_check_at(self.events_fired)
+                if autosnap is not None
+                else float("inf")
+            )
             while True:
                 t = self.queue.peek_time()
                 if t == float("inf") or t > end:
@@ -143,8 +225,13 @@ class Engine:
                     self.trace_log.append(
                         (ev.time, ev.priority, ev.seq, ev.src, ev.dst)
                     )
+                if self._journal is not None:
+                    self._journal.record(ev)
                 if ev.handler is not None:
                     ev.handler(ev)
+                if self.events_fired >= autosnap_check:
+                    autosnap.maybe_take(self)
+                    autosnap_check = autosnap.next_check_at(self.events_fired)
             if until is not None and end != float("inf"):
                 # Mirror SST semantics: run(until) leaves the clock at the
                 # requested horizon even when no event fired exactly there.

@@ -10,7 +10,6 @@ internals.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -79,8 +78,16 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        # A plain int rather than itertools.count(): the counter is part
+        # of engine snapshots, so it must pickle and resume exactly.
+        self._next_seq = 0
         self._cancelled_in_heap = 0
+
+    def take_seq(self) -> int:
+        """Claim the next sequence number (shared tie-break ordering)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
 
     def __len__(self) -> int:
         return max(0, len(self._heap) - self._cancelled_in_heap)
@@ -95,7 +102,7 @@ class EventQueue:
         handle).
         """
         if event.seq < 0:
-            event.seq = next(self._counter)
+            event.seq = self.take_seq()
         heapq.heappush(self._heap, event)
         return event
 

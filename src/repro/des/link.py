@@ -14,6 +14,30 @@ from repro.des.component import Port
 from repro.des.event import PRIORITY_NORMAL, Event
 
 
+class _Delivery:
+    """Arrival handler for one in-flight payload.
+
+    A class (not a closure) so pending deliveries survive engine
+    snapshots: pickling the event queue pickles these handlers along
+    with the components they target.
+    """
+
+    __slots__ = ("component", "port_name")
+
+    def __init__(self, component, port_name: str) -> None:
+        self.component = component
+        self.port_name = port_name
+
+    def __call__(self, ev: Event) -> None:
+        self.component.handle_event(self.port_name, ev.payload, ev.time)
+
+    def __getstate__(self) -> tuple:
+        return (self.component, self.port_name)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.component, self.port_name = state
+
+
 class Link:
     """A bidirectional point-to-point connection with fixed base latency.
 
@@ -61,13 +85,9 @@ class Link:
         dst_comp = dst_port.component
         engine = from_port.component.engine
         assert engine is not None
-
-        def _arrive(ev: Event, _dst=dst_comp, _port=dst_port.name) -> None:
-            _dst.handle_event(_port, ev.payload, ev.time)
-
         ev = Event(
             time=engine.now + self.latency + extra_delay,
-            handler=_arrive,
+            handler=_Delivery(dst_comp, dst_port.name),
             payload=payload,
             priority=PRIORITY_NORMAL,
             src=from_port.component.name,

@@ -115,6 +115,61 @@ def _recursive_bisect(g: nx.Graph, nodes: list[str], nparts: int) -> list[list[s
     )
 
 
+def migrate_assignment(
+    assignment: Mapping[str, int],
+    victim: int,
+    dead: Optional[Iterable[int]] = None,
+) -> dict[str, int]:
+    """Rebalance a failed partition's components onto the survivors.
+
+    Every component assigned to *victim* is re-homed round-robin across
+    the surviving partitions (all partitions present in *assignment*
+    minus *dead*), starting with the least-loaded survivor.  Components
+    are processed in sorted-name order so the migration is deterministic.
+
+    Parameters
+    ----------
+    assignment:
+        Current ``{component name: partition}`` mapping.
+    victim:
+        The partition that failed.
+    dead:
+        All partitions considered failed (must include *victim*);
+        defaults to ``{victim}``.
+
+    Returns
+    -------
+    dict
+        A new mapping with no component assigned to a dead partition.
+
+    Raises
+    ------
+    ValueError
+        If no surviving partition remains to absorb the components.
+    """
+    dead_set = set(dead) if dead is not None else {victim}
+    dead_set.add(victim)
+    survivors = sorted(set(assignment.values()) - dead_set)
+    displaced = sorted(n for n, p in assignment.items() if p == victim)
+    if displaced and not survivors:
+        raise ValueError(
+            f"partition {victim} failed and no survivors remain to absorb "
+            f"its {len(displaced)} component(s)"
+        )
+    out = {n: p for n, p in assignment.items() if p != victim}
+    if not displaced:
+        return out
+    load = {p: 0 for p in survivors}
+    for p in out.values():
+        if p in load:
+            load[p] += 1
+    # Least-loaded-first round robin; ties break on partition index.
+    order = sorted(survivors, key=lambda p: (load[p], p))
+    for i, name in enumerate(displaced):
+        out[name] = order[i % len(order)]
+    return out
+
+
 def cut_statistics(
     assignment: Mapping[str, int],
     edges: Sequence[tuple[str, str, float]],

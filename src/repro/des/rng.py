@@ -49,3 +49,30 @@ class RNGRegistry:
         """Return a brand-new generator for *name*, resetting its stream."""
         self._cache.pop(name, None)
         return self.get(name)
+
+    def state_digest(self) -> str:
+        """SHA-256 over every stream's bit-generator state.
+
+        Two registries with equal digests will hand out identical draws
+        for every already-materialised stream — the check snapshot tests
+        use to prove RNG state survives a capture/restore round trip.
+        """
+        acc = hashlib.sha256()
+        for name in sorted(self._cache):
+            state = self._cache[name].bit_generator.state
+            acc.update(name.encode("utf-8"))
+            acc.update(repr(sorted(_flatten_state(state))).encode("utf-8"))
+        return acc.hexdigest()
+
+
+def _flatten_state(state, prefix: str = "") -> list[tuple[str, str]]:
+    """Flatten a bit-generator state dict (ndarrays included) to pairs."""
+    out: list[tuple[str, str]] = []
+    if isinstance(state, dict):
+        for key, value in state.items():
+            out.extend(_flatten_state(value, f"{prefix}.{key}"))
+    elif isinstance(state, np.ndarray):
+        out.append((prefix, state.tobytes().hex()))
+    else:
+        out.append((prefix, repr(state)))
+    return out

@@ -8,16 +8,33 @@ provides the equivalents our experiments and debugging need:
 * :class:`UtilizationTracker` — busy-time accounting components can feed
   to report occupancy,
 * :func:`event_rate` — events/second of wall clock, the engine's
-  throughput metric used in ABL4.
+  throughput metric used in ABL4,
+* :func:`trace_digest` — a stable hash of an event trace, the compact
+  equality witness used by the determinism / snapshot-restore checks.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import Counter
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.des.engine import Engine
+
+
+def trace_digest(trace: Sequence[tuple] | Engine) -> str:
+    """SHA-256 of an event trace (or of an engine's ``trace_log``).
+
+    Records hash through ``repr`` of their canonical tuples, so two
+    traces share a digest iff they are equal element-for-element —
+    including float-exact timestamps.
+    """
+    log = trace.trace_log if isinstance(trace, Engine) else trace
+    acc = hashlib.sha256()
+    for rec in log:
+        acc.update(repr(tuple(rec)).encode("utf-8"))
+    return acc.hexdigest()
 
 
 class EventCounter:

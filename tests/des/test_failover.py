@@ -1,0 +1,204 @@
+"""Partition failover: rank failures, boundary-snapshot recovery, migration."""
+
+import pytest
+
+from repro.des import (
+    Component,
+    Engine,
+    EventJournal,
+    ParallelEngine,
+    SimulationError,
+    migrate_assignment,
+    read_journal,
+    replay_and_diff,
+    trace_digest,
+)
+from repro.des.link import connect
+
+
+class RingNode(Component):
+    """Token-ring node; fully picklable (no lambdas anywhere)."""
+
+    def __init__(self, name, laps):
+        super().__init__(name)
+        self.laps = laps
+        self.visits = []
+
+    def handle_event(self, port_name, payload, time):
+        self.visits.append(round(time, 12))
+        lap = payload["lap"]
+        if port_name == "prev":
+            if self.name.endswith("_0"):
+                lap += 1
+            if lap < self.laps:
+                self.send("next", {"lap": lap})
+
+
+class Starter(Component):
+    """Kicks the ring off via a bound-method (snapshot-safe) event."""
+
+    def setup(self):
+        self.schedule(0.0, self._go)
+
+    def _go(self, ev):
+        self.engine.components["n_0"].send("next", {"lap": 0})
+
+    def handle_event(self, port_name, payload, time):  # pragma: no cover
+        pass
+
+
+def build_ring(engine, n=8, laps=5, latency=0.5):
+    nodes = [engine.register(RingNode(f"n_{i}", laps)) for i in range(n)]
+    for i in range(n):
+        connect(nodes[i], "next", nodes[(i + 1) % n], "prev", latency=latency)
+    engine.register(Starter("zz_start"))
+    return nodes
+
+
+class FixedRateModel:
+    """Deterministic failure process: one failure every `gap` sim-seconds."""
+
+    def __init__(self, gap):
+        self.gap = gap
+
+    def draw_interarrival(self, rng, nnodes):
+        return self.gap
+
+
+def sequential_reference(seed=3, **kwargs):
+    eng = Engine(seed=seed, trace=True)
+    build_ring(eng, **kwargs)
+    eng.run()
+    return eng
+
+
+@pytest.mark.parametrize("migrate", [True, False])
+def test_failover_trace_identical_to_sequential(migrate):
+    ref = sequential_reference()
+
+    par = ParallelEngine(nparts=4, seed=3, trace=True)
+    build_ring(par)
+    fo = par.enable_failover(
+        FixedRateModel(3.0), seed=7, migrate=migrate, max_failures=3
+    )
+    par.run()
+
+    assert fo.failures_injected == 3
+    assert fo.restores == 3
+    assert fo.migrations == (3 if migrate else 0)
+    assert trace_digest(par) == trace_digest(ref)
+    assert par.events_fired == ref.events_fired
+    # component state also matches (read through the engine: restores
+    # replace the component objects, so pre-run references go stale)
+    for name, comp in ref.components.items():
+        if isinstance(comp, RingNode):
+            assert par.components[name].visits == comp.visits
+
+
+def test_failover_with_migration_empties_failed_partitions():
+    par = ParallelEngine(nparts=4, seed=3)
+    build_ring(par)
+    fo = par.enable_failover(FixedRateModel(2.0), seed=1, migrate=True,
+                             max_failures=2)
+    par.run()
+    assert len(fo.failed_parts) == 2
+    assert not any(p in set(par._assignment.values()) for p in fo.failed_parts)
+    assert len(fo.failure_log) == 2
+    assert {p for _, p in fo.failure_log} == fo.failed_parts
+
+
+def test_failover_stops_when_one_partition_left():
+    par = ParallelEngine(nparts=2, seed=0)
+    build_ring(par, n=4, laps=3)
+    fo = par.enable_failover(FixedRateModel(0.5), seed=0, migrate=True,
+                             max_failures=50)
+    par.run()
+    # with 2 partitions only one failure is possible; the survivor then
+    # runs the whole simulation alone
+    assert fo.failures_injected == 1
+    assert len(set(par._assignment.values())) == 1
+
+
+def test_failover_respects_max_failures_zero():
+    ref = sequential_reference()
+    par = ParallelEngine(nparts=4, seed=3, trace=True)
+    build_ring(par)
+    fo = par.enable_failover(FixedRateModel(0.1), seed=0, max_failures=0)
+    par.run()
+    assert fo.failures_injected == 0
+    assert trace_digest(par) == trace_digest(ref)
+
+
+def test_failover_journal_has_no_rolled_back_events(tmp_path):
+    """The journal must contain exactly the committed trace: windows that
+    were executed and then rewound by a failover never reach it."""
+    path = str(tmp_path / "j.jsonl")
+    par = ParallelEngine(nparts=4, seed=3, trace=True)
+    build_ring(par)
+    par.enable_failover(FixedRateModel(3.0), seed=7, migrate=True,
+                        max_failures=3)
+    with EventJournal(path, fresh=True) as journal:
+        par.attach_journal(journal)
+        par.run()
+    records = read_journal(path)
+    assert [tuple(r) for r in records] == [tuple(r) for r in par.trace_log]
+
+    def factory():
+        eng = Engine(seed=3, trace=True)
+        build_ring(eng)
+        return eng
+
+    assert replay_and_diff(factory, path).identical
+
+
+def test_cannot_enable_failover_mid_run():
+    par = ParallelEngine(nparts=2, seed=0)
+    build_ring(par, n=4, laps=1)
+    par._running = True
+    with pytest.raises(SimulationError, match="while running"):
+        par.enable_failover(FixedRateModel(1.0))
+    par._running = False
+
+
+def test_failover_validation():
+    par = ParallelEngine(nparts=2, seed=0)
+    with pytest.raises(ValueError, match="max_failures"):
+        par.enable_failover(FixedRateModel(1.0), max_failures=-1)
+
+
+def test_failover_with_real_fault_model():
+    """The duck-typed model contract matches core's FaultModel."""
+    from repro.core.fault_injection import FaultModel
+
+    ref = sequential_reference()
+    par = ParallelEngine(nparts=4, seed=3, trace=True)
+    build_ring(par)
+    fo = par.enable_failover(
+        FaultModel(node_mtbf_s=8.0), seed=5, migrate=True, max_failures=4
+    )
+    par.run()
+    assert fo.failures_injected >= 1
+    assert trace_digest(par) == trace_digest(ref)
+
+
+# -- migrate_assignment -------------------------------------------------------
+
+
+def test_migrate_assignment_rebalances_round_robin():
+    assign = {"a": 0, "b": 0, "c": 1, "d": 1, "e": 2}
+    out = migrate_assignment(assign, victim=1)
+    assert set(out) == {"a", "b", "c", "d", "e"}
+    assert out["c"] != 1 and out["d"] != 1
+    assert out["a"] == 0 and out["b"] == 0 and out["e"] == 2
+    # least-loaded survivor (partition 2) absorbs first
+    assert out["c"] == 2
+
+
+def test_migrate_assignment_no_survivors_raises():
+    with pytest.raises(ValueError, match="no survivors"):
+        migrate_assignment({"a": 0, "b": 0}, victim=0)
+
+
+def test_migrate_assignment_empty_victim_is_noop():
+    assign = {"a": 0, "b": 1}
+    assert migrate_assignment(assign, victim=5) == assign

@@ -151,6 +151,64 @@ def test_invalid_nparts():
         ParallelEngine(nparts=0)
 
 
+def test_nparts_exceeding_components_rejected():
+    # every partition must own at least one component; silently clamping
+    # would make windows_executed/lookahead lie about the topology
+    par = ParallelEngine(nparts=5, seed=0)
+    build_ring(par, n=4, laps=1)
+    with pytest.raises(SimulationError, match="nparts=5 exceeds the 4"):
+        par.run()
+
+
+def test_nparts_exceeding_components_rejected_when_empty():
+    par = ParallelEngine(nparts=1)
+    with pytest.raises(SimulationError, match="0 registered component"):
+        par.run()
+
+
+def test_zero_latency_cross_partition_link_rejected():
+    # Link construction already enforces latency > 0; this guards the
+    # engine against post-construction mutation (e.g. a dynamic-latency
+    # model extension) that would silently break conservative windows.
+    par = ParallelEngine(
+        nparts=2, seed=0, assignment={"n_0": 0, "n_1": 0, "n_2": 1, "n_3": 1}
+    )
+    build_ring(par, n=4, laps=1, latency=0.5)
+    cross = next(  # n_1 -> n_2 spans partitions 0 and 1
+        ln for ln in par.links
+        if {ln.a.component.name, ln.b.component.name} == {"n_1", "n_2"}
+    )
+    cross.latency = 0.0
+    with pytest.raises(SimulationError, match="zero-latency cross-partition"):
+        par.run()
+    assert cross.name in _raised_message(par)
+
+
+def _raised_message(par):
+    try:
+        par._compute_lookahead()
+    except SimulationError as exc:
+        return str(exc)
+    return ""
+
+
+def test_zero_latency_internal_link_is_fine():
+    # zero lookahead only matters across partitions: an intra-partition
+    # link may (hypothetically) carry any latency without breaking windows
+    par = ParallelEngine(
+        nparts=2, seed=0, assignment={"n_0": 0, "n_1": 0, "n_2": 1, "n_3": 1}
+    )
+    build_ring(par, n=4, laps=1, latency=0.5)
+    # n_0 <-> n_1 is internal to partition 0
+    internal = next(
+        ln for ln in par.links
+        if {ln.a.component.name, ln.b.component.name} == {"n_0", "n_1"}
+    )
+    internal.latency = 0.0
+    par.run()  # does not raise; cross-partition lookahead still 0.5
+    assert par.lookahead == 0.5
+
+
 def test_parallel_max_events_counts_fired_handlers():
     eng = ParallelEngine(nparts=2, seed=0)
     build_ring(eng, n=8, laps=100)

@@ -152,6 +152,62 @@ def test_campaign_chaos_flags_survive_injected_crashes(tmp_path, capsys):
     assert " 3/3 " in out  # nothing lost despite the chaos
 
 
+def test_campaign_all_poisoned_exits_nonzero_with_summary(capsys):
+    import json
+
+    # garbage on every attempt + zero retries => every replica quarantined
+    # (chaos only fires in forked workers, hence --workers 2)
+    code = main(
+        [
+            "campaign",
+            "--reps", "2",
+            "--mtbf", "16",
+            "--periods", "5",
+            "--timesteps", "10",
+            "--workers", "2",
+            "--chaos-garbage", "1.0",
+            "--retries", "0",
+        ]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "0/2" in captured.out  # the partial report still prints
+    summary = json.loads(captured.err)
+    assert summary["error"] == "campaign-produced-no-results"
+    assert summary["points"] == 1
+    assert summary["reps"] == 2
+    assert len(summary["quarantined"]) == 2
+    assert summary["failure_kinds"]["error"] == 2
+    assert summary["failure_kinds"]["poisoned"] == 2
+
+
+def test_campaign_sim_snapshot_flags_must_be_paired(tmp_path):
+    base = ["campaign", "--reps", "1", "--mtbf", "16", "--periods", "5",
+            "--timesteps", "10"]
+    with pytest.raises(SystemExit, match="together"):
+        main([*base, "--sim-snapshot-dir", str(tmp_path)])
+    with pytest.raises(SystemExit, match="together"):
+        main([*base, "--sim-snapshot-every", "500"])
+
+
+def test_campaign_with_sim_snapshots_runs_clean(tmp_path, capsys):
+    code = main(
+        [
+            "campaign",
+            "--reps", "2",
+            "--mtbf", "16",
+            "--periods", "5",
+            "--timesteps", "10",
+            "--sim-snapshot-dir", str(tmp_path / "snaps"),
+            "--sim-snapshot-every", "500",
+        ]
+    )
+    assert code == 0
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+    # completed replicas clear their stores: no *.snap files left behind
+    assert list((tmp_path / "snaps").rglob("*.snap")) == []
+
+
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
