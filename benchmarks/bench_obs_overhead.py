@@ -1,0 +1,84 @@
+"""OBS — metrics-on vs metrics-off overhead on the Fig. 7 workload.
+
+Runs the 64-rank LULESH proxy (200 timesteps, L1 checkpoints every 40)
+through the sequential engine twice per round: bare, and with a full
+:class:`~repro.obs.instrument.EngineObs` attached (per-event handler
+timing, queue-depth sampling, span + counter flush).  The min-of-rounds
+ratio lands in ``extra_info`` and is asserted to stay within the PR's
+overhead budget: observability must be cheap enough to leave on.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.apps import lulesh_appbeo
+from repro.core import BESSTSimulator
+from repro.core.ft import scenario_l1
+from repro.obs.instrument import EngineObs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+RANKS = 64
+TIMESTEPS = 200
+EPR = 10
+ROUNDS = 3
+
+#: metrics-on / metrics-off wall time (min of rounds) must stay under this
+OVERHEAD_BOUND = 1.1
+
+
+def _make_sim(ctx):
+    app = lulesh_appbeo(timesteps=TIMESTEPS, scenario=scenario_l1(40))
+    return BESSTSimulator(
+        app, ctx.archbeo, nranks=RANKS, params={"epr": EPR}, seed=0
+    )
+
+
+def _run_bare(ctx) -> float:
+    sim = _make_sim(ctx)
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    assert res.completed
+    return dt
+
+
+def _run_observed(ctx) -> float:
+    sim = _make_sim(ctx)
+    # Private registry + tracer: the bench must not pollute (or pay for
+    # contention on) the process-global registry.
+    obs = EngineObs(registry=MetricsRegistry(), tracer=Tracer())
+    sim.engine.attach_obs(obs)
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    assert res.completed
+    assert obs.registry.counter("engine_events_total").value > 0
+    return dt
+
+
+def test_obs_overhead_fig7_workload(benchmark, ctx):
+    _run_bare(ctx)  # warm imports, model LUTs, allocator
+    _run_observed(ctx)
+
+    bare = [_run_bare(ctx) for _ in range(ROUNDS)]
+
+    def one_round():
+        return _run_observed(ctx)
+
+    benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+    observed = [_run_observed(ctx) for _ in range(ROUNDS)]
+
+    # Compare min-of-rounds: the floor is the honest per-event cost,
+    # everything above it is scheduler noise.
+    ratio = min(observed) / min(bare)
+    benchmark.extra_info["bare_s"] = min(bare)
+    benchmark.extra_info["observed_s"] = min(observed)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    emit(
+        benchmark,
+        "obs-overhead",
+        f"metrics off: {min(bare):.3f}s  metrics on: {min(observed):.3f}s  "
+        f"ratio: {ratio:.3f}x (bound {OVERHEAD_BOUND}x)",
+    )
+    assert ratio <= OVERHEAD_BOUND

@@ -17,6 +17,13 @@ campaign runner is crash-safe: with ``--journal`` every completed
 replica is durably logged, ``--resume`` skips completed replicas
 bit-identically after a kill, and ``--chaos-*`` flags inject harness
 faults (worker crash/hang/garbage) to exercise the supervisor.
+
+Campaigns can also be observed: ``--metrics-out`` streams registry
+snapshots to JSONL, ``--prom-out`` writes a Prometheus text-exposition
+snapshot, ``--trace-out`` writes a merged Chrome/Perfetto span trace
+(campaign, supervisor and worker layers in one timeline), and
+``--heartbeat`` prints a live progress line.  ``repro metrics
+summarize <file>`` condenses either metrics format afterwards.
 """
 
 from __future__ import annotations
@@ -159,6 +166,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="snapshot each replica's simulator every N fired events "
         "(requires --sim-snapshot-dir)",
     )
+    camp.add_argument(
+        "--metrics-out",
+        help="stream metrics-registry snapshots to this JSONL file",
+    )
+    camp.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="seconds between --metrics-out snapshots",
+    )
+    camp.add_argument(
+        "--prom-out",
+        help="write a final Prometheus text-exposition snapshot here",
+    )
+    camp.add_argument(
+        "--trace-out",
+        help="write a merged Chrome trace of campaign/supervisor/worker "
+        "spans here (open in Perfetto)",
+    )
+    camp.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a live progress line to stderr every SECONDS",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect metrics files written by --metrics-out"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summ = metrics_sub.add_parser(
+        "summarize",
+        help="condense a JSONL metrics stream or Prometheus snapshot",
+    )
+    summ.add_argument("path", help="metrics JSONL or Prometheus text file")
 
     fit = sub.add_parser(
         "fit-models", help="run Model Development and save the fitted models"
@@ -293,6 +336,7 @@ def _run_campaign(args) -> tuple[str, int]:
     from repro.core.campaign import ResilienceCampaign
     from repro.core.fault_injection import RecoveryPolicy
     from repro.core.supervisor import HarnessFaultInjector, RetryPolicy
+    from repro.obs.instrument import CampaignObs, ObsOptions
 
     if (args.resume or args.partial_report) and not args.journal:
         raise SystemExit("campaign: --resume/--partial-report require --journal")
@@ -317,12 +361,23 @@ def _run_campaign(args) -> tuple[str, int]:
         sim_snapshot_dir=args.sim_snapshot_dir,
         sim_snapshot_every=args.sim_snapshot_every,
     )
+    obs = None
+    obs_opts = ObsOptions(
+        metrics_out=args.metrics_out,
+        metrics_interval_s=args.metrics_interval,
+        prom_out=args.prom_out,
+        trace_out=args.trace_out,
+        heartbeat_s=args.heartbeat,
+    )
+    if obs_opts.enabled:
+        obs = CampaignObs(obs_opts)
     if args.resume:
         camp = ResilienceCampaign.resume(
             args.journal,
             n_workers=args.workers,
             retry=retry,
             fault_injector=injector,
+            obs=obs,
             **snapshot_kwargs,
         )
     else:
@@ -337,6 +392,7 @@ def _run_campaign(args) -> tuple[str, int]:
             retry=retry,
             journal_path=args.journal,
             fault_injector=injector,
+            obs=obs,
             **snapshot_kwargs,
         )
     try:
@@ -409,6 +465,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, code = _run_campaign(args)
         print(text)
         return code
+    if args.command == "metrics":
+        from repro.obs.export import summarize_metrics
+
+        print(summarize_metrics(args.path))
+        return 0
     if args.command == "fit-models":
         print(_fit_models(args.out, args.seed, args.all_levels))
         return 0

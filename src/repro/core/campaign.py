@@ -220,12 +220,22 @@ def _run_replica(payload: tuple) -> dict:
     hang or injected harness fault) reproduces the original result
     bit-identically.  With a :class:`ReplicaSnapshotConfig` the retry
     resumes from the replica's newest in-simulation snapshot rather than
-    recomputing from scratch.
+    recomputing from scratch.  An :class:`~repro.obs.tracing.ObsContext`
+    in slot 4 joins the replica to the campaign's trace (spans + worker
+    metrics dumped into the shared obs directory); observability never
+    touches the metrics dict beyond adding ``events_fired``, so journals
+    and reports stay bit-identical with it on or off.
     """
     spec, policy, seed = payload[:3]
     snap_cfg: Optional[ReplicaSnapshotConfig] = (
         payload[3] if len(payload) > 3 else None
     )
+    obs_ctx = payload[4] if len(payload) > 4 else None
+    tracer = engine_obs = span = None
+    if obs_ctx is not None:
+        from repro.obs.instrument import replica_obs_begin
+
+        tracer, engine_obs, span = replica_obs_begin(obs_ctx, seed)
     sim = None
     store = None
     if snap_cfg is not None:
@@ -241,10 +251,12 @@ def _run_replica(payload: tuple) -> dict:
                 every_events=snap_cfg.every_events,
                 keep=snap_cfg.keep,
             )
+    if engine_obs is not None:
+        sim.engine.attach_obs(engine_obs)
     res = sim.run(max_events=_REPLICA_MAX_EVENTS)
     if store is not None:
         store.clear()  # completed: the snapshots are dead weight now
-    return {
+    result = {
         "seed": seed,
         "completed": res.completed,
         "total_time": res.total_time,
@@ -260,7 +272,15 @@ def _run_replica(payload: tuple) -> dict:
         "waste_requeue": res.waste_requeue,
         "checkpoint_time": res.checkpoint_time,
         "fault_log": [list(e) for e in sim.fault_injector.log.entries],
+        # Extra key (not in _REPLICA_KEYS): feeds the heartbeat's
+        # events/sec; aggregation ignores it, so reports are unchanged.
+        "events_fired": res.events_fired,
     }
+    if obs_ctx is not None:
+        from repro.obs.instrument import replica_obs_end
+
+        replica_obs_end(obs_ctx, tracer, span, result)
+    return result
 
 
 def _is_replica_result(value) -> bool:
@@ -564,6 +584,14 @@ class ResilienceCampaign(MonteCarloRunner):
         (timeout, kill, worker crash) resumes mid-simulation from its
         newest snapshot — complementing the journal, which only skips
         replicas that already *finished*.
+    obs:
+        Optional :class:`~repro.obs.instrument.CampaignObs`.  Enables
+        the full telemetry pipeline: campaign/point/task spans with ids
+        propagated into replica worker processes, engine-level metrics,
+        the live heartbeat, and the JSONL / Prometheus / Chrome-trace
+        exporters.  Observability data never enters replica results or
+        the journal (beyond the report-ignored ``events_fired`` key), so
+        runs are bit-identical with it on or off.
     """
 
     def __init__(
@@ -577,6 +605,7 @@ class ResilienceCampaign(MonteCarloRunner):
         fault_injector: Optional[HarnessFaultInjector] = None,
         sim_snapshot_dir: Optional[str] = None,
         sim_snapshot_every: Optional[int] = None,
+        obs=None,
     ) -> None:
         super().__init__(reps=reps, base_seed=base_seed)
         if n_workers < 1:
@@ -592,6 +621,7 @@ class ResilienceCampaign(MonteCarloRunner):
         self.journal_path = journal_path
         self.sim_snapshot_dir = sim_snapshot_dir
         self.sim_snapshot_every = sim_snapshot_every
+        self.obs = obs
         self._journal: Optional[CampaignJournal] = None
         #: accumulated supervisor telemetry (kept out of report JSON so
         #: resumed and uninterrupted runs stay bit-identical)
@@ -606,6 +636,7 @@ class ResilienceCampaign(MonteCarloRunner):
         fault_injector: Optional[HarnessFaultInjector] = None,
         sim_snapshot_dir: Optional[str] = None,
         sim_snapshot_every: Optional[int] = None,
+        obs=None,
     ) -> "ResilienceCampaign":
         """Rebuild a campaign from a journal's header (reps/seed/policy).
 
@@ -625,6 +656,7 @@ class ResilienceCampaign(MonteCarloRunner):
             fault_injector=fault_injector,
             sim_snapshot_dir=sim_snapshot_dir,
             sim_snapshot_every=sim_snapshot_every,
+            obs=obs,
         )
 
     @staticmethod
@@ -659,17 +691,25 @@ class ResilienceCampaign(MonteCarloRunner):
     def _replica_payload(
         self, spec: CampaignSpec, spec_key: str, seeds, i: int
     ) -> tuple:
-        if self.sim_snapshot_dir is None:
-            return (spec, self.policy, seeds[i])
-        return (
-            spec,
-            self.policy,
-            seeds[i],
-            ReplicaSnapshotConfig(
+        snap_cfg = None
+        if self.sim_snapshot_dir is not None:
+            snap_cfg = ReplicaSnapshotConfig(
                 directory=self._replica_snapshot_dir(spec_key, i),
                 every_events=self.sim_snapshot_every,
-            ),
-        )
+            )
+        if self.obs is not None:
+            # 5-tuple: slot 3 may be None, slot 4 joins the worker to
+            # the campaign trace (parented on the task's derived span).
+            return (
+                spec,
+                self.policy,
+                seeds[i],
+                snap_cfg,
+                self.obs.worker_context(f"{spec_key}:{i}"),
+            )
+        if snap_cfg is not None:
+            return (spec, self.policy, seeds[i], snap_cfg)
+        return (spec, self.policy, seeds[i])
 
     def _get_journal(self) -> Optional[CampaignJournal]:
         if self.journal_path is not None and self._journal is None:
@@ -682,60 +722,81 @@ class ResilienceCampaign(MonteCarloRunner):
         seeds = derive_seeds(self.base_seed, self.reps)
         spec_key = campaign_spec_key(spec, self.policy)
         journal = self._get_journal()
+        obs = self.obs
         done: dict[int, dict] = {}
         if journal is not None:
             journal.ensure_point(spec_key, spec)
             done = dict(journal.completed(spec_key))
+        if obs is not None:
+            obs.point_started(spec_key)
+            for replayed in done.values():
+                obs.replica_done(replayed, from_journal=True)
+        try:
+            tasks = [
+                (f"{spec_key}:{i}", self._replica_payload(spec, spec_key, seeds, i))
+                for i in range(self.reps)
+                if i not in done
+            ]
+            fresh: dict[int, dict] = {}
+            if tasks:
+                journal_result = None
+                if journal is not None:
 
-        tasks = [
-            (f"{spec_key}:{i}", self._replica_payload(spec, spec_key, seeds, i))
-            for i in range(self.reps)
-            if i not in done
-        ]
-        fresh: dict[int, dict] = {}
-        if tasks:
-            on_result = None
-            if journal is not None:
+                    def journal_result(key: str, result: dict) -> None:
+                        idx = int(key.rsplit(":", 1)[1])
+                        journal.record_replica(spec_key, idx, seeds[idx], result)
 
-                def on_result(key: str, result: dict) -> None:
-                    idx = int(key.rsplit(":", 1)[1])
-                    journal.record_replica(spec_key, idx, seeds[idx], result)
+                on_result = journal_result
+                if obs is not None:
 
-            on_quarantine = None
-            if self.sim_snapshot_dir is not None:
+                    def on_result(key: str, result: dict) -> None:
+                        # WAL first: durability beats telemetry.
+                        if journal_result is not None:
+                            journal_result(key, result)
+                        obs.replica_done(result)
 
-                def on_quarantine(key: str, failures) -> None:
-                    # A poisoned replica never completes; its snapshots
-                    # must not seed a future resume of the same key.
-                    shutil.rmtree(
-                        self._replica_snapshot_dir(spec_key, key.rsplit(":", 1)[1]),
-                        ignore_errors=True,
-                    )
+                on_quarantine = None
+                if self.sim_snapshot_dir is not None:
 
-            supervisor = TaskSupervisor(
-                _run_replica,
-                n_workers=self.n_workers,
-                retry=self.retry,
-                validate=_is_replica_result,
-                on_result=on_result,
-                on_quarantine=on_quarantine,
-                fault_injector=self.fault_injector,
-                seed=self.base_seed,
-            )
-            out = supervisor.run(tasks)
-            self.harness_stats.merge(out.stats)
-            fresh = {
-                int(key.rsplit(":", 1)[1]): value
-                for key, value in out.results.items()
-            }
-        replicas = []
-        for i in range(self.reps):
-            if i in done:
-                replicas.append(done[i])
-            elif i in fresh:
-                replicas.append(fresh[i])
-            # quarantined replicas are missing: reported via replicas_done
-        return replicas
+                    def on_quarantine(key: str, failures) -> None:
+                        # A poisoned replica never completes; its snapshots
+                        # must not seed a future resume of the same key.
+                        shutil.rmtree(
+                            self._replica_snapshot_dir(spec_key, key.rsplit(":", 1)[1]),
+                            ignore_errors=True,
+                        )
+
+                sup_obs = obs.supervisor_obs() if obs is not None else None
+                supervisor = TaskSupervisor(
+                    _run_replica,
+                    n_workers=self.n_workers,
+                    retry=self.retry,
+                    validate=_is_replica_result,
+                    on_result=on_result,
+                    on_quarantine=on_quarantine,
+                    fault_injector=self.fault_injector,
+                    seed=self.base_seed,
+                    obs=sup_obs,
+                )
+                out = supervisor.run(tasks)
+                if sup_obs is not None:
+                    sup_obs.close()
+                self.harness_stats.merge(out.stats)
+                fresh = {
+                    int(key.rsplit(":", 1)[1]): value
+                    for key, value in out.results.items()
+                }
+            replicas = []
+            for i in range(self.reps):
+                if i in done:
+                    replicas.append(done[i])
+                elif i in fresh:
+                    replicas.append(fresh[i])
+                # quarantined replicas are missing: reported via replicas_done
+            return replicas
+        finally:
+            if obs is not None:
+                obs.point_finished()
 
     def run_point(self, spec: CampaignSpec) -> CampaignPointReport:
         """Run every replica of one grid point and aggregate."""
@@ -748,13 +809,22 @@ class ResilienceCampaign(MonteCarloRunner):
         **spec_kwargs,
     ) -> CampaignReport:
         """Sweep fault rates × checkpoint periods."""
-        points = [
-            self.run_point(
-                CampaignSpec(node_mtbf_s=m, ckpt_period=p, **spec_kwargs)
-            )
-            for m in mtbfs
-            for p in periods
-        ]
+        n_points = len(list(mtbfs)) * len(list(periods))
+        if self.obs is not None:
+            self.obs.begin_campaign(n_points * self.reps, points=n_points)
+        try:
+            points = [
+                self.run_point(
+                    CampaignSpec(node_mtbf_s=m, ckpt_period=p, **spec_kwargs)
+                )
+                for m in mtbfs
+                for p in periods
+            ]
+        finally:
+            if self.obs is not None:
+                # Exporters run even on a failed sweep: a partial trace
+                # and metrics snapshot are the debugging artifacts.
+                self.obs.end_campaign()
         return CampaignReport(
             points=points,
             reps=self.reps,

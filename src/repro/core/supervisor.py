@@ -304,6 +304,15 @@ class TaskSupervisor:
         the duration of the run (chaos testing).
     seed:
         Seeds the deterministic backoff jitter.
+    obs:
+        Optional observability hook (duck-typed; canonically a
+        :class:`repro.obs.instrument.SupervisorObs`).  Receives the task
+        lifecycle — ``task_started/completed/failed/retried/quarantined``,
+        ``pool_rebuilt``, ``degraded`` — plus a ``tick()`` per
+        supervision-loop iteration for heartbeat/flush driving.  Hook
+        exceptions are deliberately not swallowed here; the canonical
+        implementation only mutates in-process counters/spans and
+        guards its own I/O.
     """
 
     def __init__(
@@ -316,6 +325,7 @@ class TaskSupervisor:
         on_quarantine: Optional[Callable[[str, list], None]] = None,
         fault_injector: Optional[HarnessFaultInjector] = None,
         seed: int = 0,
+        obs=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -326,6 +336,7 @@ class TaskSupervisor:
         self.on_result = on_result
         self.on_quarantine = on_quarantine
         self.fault_injector = fault_injector
+        self.obs = obs
         self._rng = random.Random(seed)
 
     # -- public entrypoint -----------------------------------------------------
@@ -355,6 +366,8 @@ class TaskSupervisor:
         strikes = 0  # consecutive rebuilds without a completed task
         try:
             while queue or inflight:
+                if self.obs is not None:
+                    self.obs.tick()
                 now = time.monotonic()
                 broken = not self._submit_ready(pool, queue, inflight, now)
                 if not broken:
@@ -381,6 +394,8 @@ class TaskSupervisor:
                     strikes += 1
                     if strikes >= self.retry.degrade_after:
                         stats.degraded = True
+                        if self.obs is not None:
+                            self.obs.degraded()
                         break
         finally:
             _kill_pool(pool)
@@ -405,6 +420,8 @@ class TaskSupervisor:
             if self.retry.timeout_s is not None:
                 task.deadline = now + self.retry.timeout_s
             inflight[fut] = task
+            if self.obs is not None:
+                self.obs.task_started(task.key, task.attempts + 1)
         return True
 
     @staticmethod
@@ -469,6 +486,8 @@ class TaskSupervisor:
             queue.append(task)
         _kill_pool(pool)
         stats.pool_rebuilds += 1
+        if self.obs is not None:
+            self.obs.pool_rebuilt()
         return ProcessPoolExecutor(max_workers=self.n_workers)
 
     # -- sequential (in-process) path ------------------------------------------
@@ -479,6 +498,9 @@ class TaskSupervisor:
             delay = task.not_before - time.monotonic()
             if delay > 0:
                 time.sleep(min(delay, self.retry.backoff_max_s))
+            if self.obs is not None:
+                self.obs.tick()
+                self.obs.task_started(task.key, task.attempts + 1)
             try:
                 value = _invoke(
                     self.worker_fn, task.key, task.attempts + 1, task.payload
@@ -501,6 +523,8 @@ class TaskSupervisor:
     def _complete(self, task, value, results, stats) -> None:
         results[task.key] = value
         stats.completed += 1
+        if self.obs is not None:
+            self.obs.task_completed(task.key)
         if self.on_result is not None:
             self.on_result(task.key, value)
 
@@ -509,6 +533,8 @@ class TaskSupervisor:
         task.deadline = float("inf")
         stats.failures.append(TaskFailure(task.key, kind, task.attempts, detail))
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        if self.obs is not None:
+            self.obs.task_failed(task.key, kind)
         if task.attempts > self.retry.max_retries:
             stats.quarantined.append(task.key)
             stats.by_kind["poisoned"] += 1
@@ -518,6 +544,8 @@ class TaskSupervisor:
                     f"quarantined after {task.attempts} failures (last: {kind})",
                 )
             )
+            if self.obs is not None:
+                self.obs.task_quarantined(task.key)
             if self.on_quarantine is not None:
                 self.on_quarantine(
                     task.key,
@@ -525,9 +553,10 @@ class TaskSupervisor:
                 )
             return
         stats.retries += 1
-        task.not_before = time.monotonic() + self.retry.backoff_delay(
-            task.attempts, self._rng
-        )
+        delay = self.retry.backoff_delay(task.attempts, self._rng)
+        task.not_before = time.monotonic() + delay
+        if self.obs is not None:
+            self.obs.task_retried(task.key, delay)
         queue.append(task)
 
     # -- chaos env plumbing ----------------------------------------------------

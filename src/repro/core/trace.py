@@ -4,13 +4,22 @@ Rank timelines from :class:`~repro.core.simulator.SimulationResult` can
 be inspected in ``chrome://tracing`` / Perfetto (each rank a row, each
 instruction a duration event, checkpoints flagged) or rendered as a
 quick terminal Gantt chart.
+
+Observability spans (:mod:`repro.obs.tracing`) export to the same
+format: :func:`spans_to_trace_events` lays each process's spans out on
+its own ``pid`` row group (one ``tid`` row per concurrent span lane),
+:func:`merge_obs_spans` folds them into an existing simulation trace,
+and :func:`spans_to_chrome_trace` / :func:`save_spans_chrome_trace`
+build a standalone campaign timeline — campaign, supervisor-task and
+worker/engine spans in one Perfetto view, linked by the ``span_id`` /
+``parent_id`` args carried on every event.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.core.simulator import RankTimeline, SimulationResult
 
@@ -88,6 +97,86 @@ def to_chrome_trace(
 def save_chrome_trace(result: SimulationResult, path) -> None:
     """Write the Chrome trace JSON to *path*."""
     Path(path).write_text(json.dumps(to_chrome_trace(result)))
+
+
+# -- observability span export -----------------------------------------------
+
+
+def spans_to_trace_events(spans: Iterable, time_unit_us: float = 1e6) -> list[dict]:
+    """Convert obs :class:`~repro.obs.tracing.Span` objects to trace events.
+
+    Spans are wall-clock epoch intervals; timestamps are normalized to
+    the earliest span start so the trace begins at t=0.  Each producing
+    process keeps its own ``pid`` row group (with a ``process_name``
+    metadata record naming it), each span lane its ``tid``.  The
+    ``span_id`` / ``parent_id`` / ``trace_id`` ride in ``args`` so the
+    cross-process parent/child links are inspectable in Perfetto.
+    Unfinished spans are skipped; zero-duration spans export as instant
+    events (``ph: "i"``).
+    """
+    spans = [s for s in spans if s.t_end is not None]
+    if not spans:
+        return []
+    t0 = min(s.t_start for s in spans)
+    events: list[dict] = []
+    for pid in sorted({s.pid for s in spans}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"process {pid}"},
+            }
+        )
+    for s in sorted(spans, key=lambda s: (s.t_start, s.span_id)):
+        args = {
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "trace_id": s.trace_id,
+        }
+        args.update(s.attrs)
+        base = {
+            "name": s.name,
+            "cat": "obs",
+            "pid": s.pid,
+            "tid": s.tid,
+            "ts": (s.t_start - t0) * time_unit_us,
+            "args": args,
+        }
+        dur = (s.t_end - s.t_start) * time_unit_us
+        if dur <= 0:
+            base.update(ph="i", s="t")
+        else:
+            base.update(ph="X", dur=dur)
+        events.append(base)
+    return events
+
+
+def spans_to_chrome_trace(spans: Iterable, time_unit_us: float = 1e6) -> dict:
+    """A standalone Chrome trace JSON object from obs spans."""
+    return {
+        "traceEvents": spans_to_trace_events(spans, time_unit_us),
+        "displayTimeUnit": "ms",
+    }
+
+
+def merge_obs_spans(trace: dict, spans: Iterable, time_unit_us: float = 1e6) -> dict:
+    """Fold obs spans into an existing Chrome trace object (in place).
+
+    Simulation timelines keep ``pid 0``; span events arrive on their
+    producing processes' pid rows (real pids are never 0), so the merged
+    file shows the simulated timeline and the wall-clock telemetry
+    timeline side by side.  Returns *trace* for chaining.
+    """
+    events = trace.setdefault("traceEvents", [])
+    events.extend(spans_to_trace_events(spans, time_unit_us))
+    return trace
+
+
+def save_spans_chrome_trace(spans: Iterable, path) -> None:
+    """Write a standalone span trace JSON to *path*."""
+    Path(path).write_text(json.dumps(spans_to_chrome_trace(spans)))
 
 
 def render_gantt(

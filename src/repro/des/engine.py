@@ -14,6 +14,7 @@ RNG streams (:class:`~repro.des.rng.RNGRegistry`).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.des.event import Event, EventQueue
@@ -29,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.des.component import Component
     from repro.des.link import Link
     from repro.des.replay import EventJournal
+    from repro.obs.instrument import EngineObs
 
 
 class SimulationError(RuntimeError):
@@ -65,6 +67,9 @@ class Engine:
         #: optional append-only journal of fired events (not snapshotted:
         #: it holds an open file handle; reattach after a restore)
         self._journal: Optional["EventJournal"] = None
+        #: optional observability adapter (see :meth:`attach_obs`); not
+        #: snapshotted — it holds tracers/locks and wall-clock state
+        self._obs: Optional["EngineObs"] = None
 
     # -- construction -------------------------------------------------------
 
@@ -164,9 +169,22 @@ class Engine:
         """Append every subsequently fired event to *journal*."""
         self._journal = journal
 
+    def attach_obs(self, obs: Optional["EngineObs"]) -> Optional["EngineObs"]:
+        """Attach (or with ``None`` detach) an observability adapter.
+
+        While attached, :meth:`run` brackets every handler call with
+        wall-clock busy-time accounting, samples queue depth every 64
+        events, and flushes run-level metrics (and an ``engine.run``
+        span) through the adapter at run end.  Detached engines pay one
+        ``is None`` test per run.
+        """
+        self._obs = obs
+        return obs
+
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_journal"] = None  # open file handle: reattach post-restore
+        state["_obs"] = None  # wall-clock state and locks: reattach too
         return state
 
     # -- execution -----------------------------------------------------------
@@ -207,31 +225,55 @@ class Engine:
                 if autosnap is not None
                 else float("inf")
             )
-            while True:
-                t = self.queue.peek_time()
-                if t == float("inf") or t > end:
-                    break
-                if max_events is not None and fired_this_run >= max_events:
-                    # Checked before the pop so events_fired counts only
-                    # events whose handlers actually ran.
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (possible livelock)"
-                    )
-                ev = self.queue.pop()
-                self.now = ev.time
-                self.events_fired += 1
-                fired_this_run += 1
-                if self.trace:
-                    self.trace_log.append(
-                        (ev.time, ev.priority, ev.seq, ev.src, ev.dst)
-                    )
-                if self._journal is not None:
-                    self._journal.record(ev)
-                if ev.handler is not None:
-                    ev.handler(ev)
-                if self.events_fired >= autosnap_check:
-                    autosnap.maybe_take(self)
-                    autosnap_check = autosnap.next_check_at(self.events_fired)
+            # Hoisted observability state: with obs attached the per-event
+            # cost is two perf_counter reads and a dict update; without,
+            # a single None test.
+            obs = self._obs
+            obs_busy = obs.busy if obs is not None else None
+            if obs is not None:
+                obs.run_started(self)
+            try:
+                while True:
+                    t = self.queue.peek_time()
+                    if t == float("inf") or t > end:
+                        break
+                    if max_events is not None and fired_this_run >= max_events:
+                        # Checked before the pop so events_fired counts only
+                        # events whose handlers actually ran.
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (possible livelock)"
+                        )
+                    ev = self.queue.pop()
+                    self.now = ev.time
+                    self.events_fired += 1
+                    fired_this_run += 1
+                    if self.trace:
+                        self.trace_log.append(
+                            (ev.time, ev.priority, ev.seq, ev.src, ev.dst)
+                        )
+                    if self._journal is not None:
+                        self._journal.record(ev)
+                    if ev.handler is not None:
+                        if obs_busy is None:
+                            ev.handler(ev)
+                        else:
+                            _t0 = perf_counter()
+                            ev.handler(ev)
+                            _dst = ev.dst or ""
+                            obs_busy[_dst] = (
+                                obs_busy.get(_dst, 0.0) + perf_counter() - _t0
+                            )
+                            if not (self.events_fired & 63):
+                                obs.queue_depth.observe(len(self.queue))
+                    if self.events_fired >= autosnap_check:
+                        autosnap.maybe_take(self)
+                        autosnap_check = autosnap.next_check_at(self.events_fired)
+            finally:
+                # Metrics survive even a loop abort (e.g. the max_events
+                # livelock guard): partial runs are exactly when numbers
+                # matter most.
+                if obs is not None:
+                    obs.run_finished(self)
             if until is not None and end != float("inf"):
                 # Mirror SST semantics: run(until) leaves the clock at the
                 # requested horizon even when no event fired exactly there.

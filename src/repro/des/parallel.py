@@ -33,6 +33,7 @@ sequential engine's snapshot/restore provides, proven by
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Callable, Mapping, Optional
 
 import numpy as np
@@ -276,12 +277,14 @@ class ParallelEngine(Engine):
         keep_failover = self._failover
         keep_journal = self._journal
         keep_autosnap = self._autosnap
+        keep_obs = self._obs
         restored = snap.restore()
         self.__dict__.clear()
         self.__dict__.update(restored.__dict__)
         self._failover = keep_failover
         self._journal = keep_journal
         self._autosnap = keep_autosnap
+        self._obs = keep_obs
         self._running = True
         for comp in self.components.values():
             comp.engine = self
@@ -323,6 +326,9 @@ class ParallelEngine(Engine):
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        obs = self._obs
+        if obs is not None:
+            obs.run_started(self)
         try:
             self._prepare_run()
             end = float("inf") if until is None else float(until)
@@ -372,6 +378,8 @@ class ParallelEngine(Engine):
                 self._finished = True
             return self.now
         finally:
+            if obs is not None:
+                obs.run_finished(self)
             self._running = False
             self._active_part = None
 
@@ -384,6 +392,8 @@ class ParallelEngine(Engine):
         journal_buffer: list,
     ) -> int:
         """Process one safe window across every partition queue."""
+        obs = self._obs
+        obs_busy = obs.busy if obs is not None else None
         for part, q in enumerate(self._queues):
             self._active_part = part
             while True:
@@ -411,5 +421,15 @@ class ParallelEngine(Engine):
                     # rolled-back prefix.
                     journal_buffer.append(ev)
                 if ev.handler is not None:
-                    ev.handler(ev)
+                    if obs_busy is None:
+                        ev.handler(ev)
+                    else:
+                        _t0 = perf_counter()
+                        ev.handler(ev)
+                        _dst = ev.dst or ""
+                        obs_busy[_dst] = (
+                            obs_busy.get(_dst, 0.0) + perf_counter() - _t0
+                        )
+                        if not (self.events_fired & 63):
+                            obs.queue_depth.observe(len(q))
         return fired_this_run

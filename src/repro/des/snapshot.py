@@ -112,10 +112,13 @@ class Snapshot:
                 f"snapshot version {self.meta.get('version')!r} is not "
                 f"supported (expected {SNAPSHOT_VERSION})"
             )
+        t0 = time.perf_counter()
         try:
-            return pickle.loads(self.payload)
+            root = pickle.loads(self.payload)
         except Exception as exc:
             raise SnapshotError(f"snapshot payload is corrupt: {exc}") from exc
+        _record_snapshot_metrics("restore", time.perf_counter() - t0)
+        return root
 
     # -- persistence -----------------------------------------------------------
 
@@ -184,6 +187,29 @@ def _maybe_float(value) -> Optional[float]:
     return None if value is None else float(value)
 
 
+def _record_snapshot_metrics(op: str, seconds: float, nbytes: Optional[int] = None) -> None:
+    """Rare-path telemetry into the process-global obs registry.
+
+    Imported lazily: snapshots happen at most every few thousand events,
+    so a ``sys.modules`` lookup here keeps :mod:`repro.des` free of an
+    import-time dependency on the obs layer.
+    """
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    reg.counter(
+        f"snapshot_{op}s_total", help=f"Snapshot {op} operations."
+    ).inc()
+    reg.quantile(
+        f"snapshot_{op}_seconds", help=f"Snapshot {op} latency (seconds)."
+    ).observe(seconds)
+    if nbytes is not None:
+        reg.counter(
+            "snapshot_bytes_written_total",
+            help="Snapshot payload bytes persisted to disk.",
+        ).inc(nbytes)
+
+
 class SnapshotStore:
     """A directory of numbered snapshots with bounded retention.
 
@@ -202,7 +228,11 @@ class SnapshotStore:
         """Persist *snapshot* and prune beyond the retention bound."""
         stamp = snapshot.meta.get("events_fired") or 0
         path = os.path.join(self.directory, f"snap-{int(stamp):012d}.snap")
+        t0 = time.perf_counter()
         snapshot.save(path)
+        _record_snapshot_metrics(
+            "write", time.perf_counter() - t0, nbytes=snapshot.size_bytes()
+        )
         for stale in self.paths()[: -self.keep]:
             if stale != path:
                 try:

@@ -5,8 +5,11 @@ provides the equivalents our experiments and debugging need:
 
 * :class:`EventCounter` — per-component / per-kind event counts collected
   from an engine's trace log,
-* :class:`UtilizationTracker` — busy-time accounting components can feed
-  to report occupancy,
+* :class:`UtilizationTracker` — per-component busy-time accounting, fed
+  by the engine's observability hook (attach an
+  :class:`~repro.obs.instrument.EngineObs` via ``engine.attach_obs``;
+  the run loop times every handler call and credits the destination
+  component),
 * :func:`event_rate` — events/second of wall clock, the engine's
   throughput metric used in ABL4,
 * :func:`trace_digest` — a stable hash of an event trace, the compact
@@ -68,10 +71,18 @@ class EventCounter:
 
 
 class UtilizationTracker:
-    """Busy-time accounting for simulated components.
+    """Busy-time accounting for simulated components, fed by the engine.
 
-    Components call :meth:`add_busy` when they finish a unit of work;
-    :meth:`utilization` reports busy time over the horizon.
+    The engine's observability hook is the (only) producer: with an
+    :class:`~repro.obs.instrument.EngineObs` attached, ``Engine.run``
+    times each event handler and the adapter drains the per-component
+    totals into :meth:`add_busy` at run end — components themselves
+    never self-report.  :meth:`utilization` then prices busy time
+    against a horizon (typically the run's wall time)::
+
+        obs = engine.attach_obs(EngineObs())
+        wall, _ = event_rate(engine, engine.run)
+        obs.utilization.report(horizon=wall)
     """
 
     def __init__(self) -> None:

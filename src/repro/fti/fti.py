@@ -19,6 +19,7 @@ L4        always (PFS survives)
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
@@ -30,6 +31,28 @@ from repro.fti.storage import LocalStore, PFSStore
 
 class RecoveryError(RuntimeError):
     """Raised when the requested checkpoint level cannot be recovered."""
+
+
+def _record_fti_metrics(
+    op: str, level: CheckpointLevel, seconds: float, nbytes: int
+) -> None:
+    """Per-level time/bytes telemetry (the paper's L1/L2 breakdown),
+    recorded into the process-global obs registry.  Lazily imported:
+    checkpoints are rare relative to simulation events."""
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    lvl = f"L{level.value}"
+    reg.counter(
+        f"fti_{op}s_total", help=f"FTI {op} operations, by level.", level=lvl
+    ).inc()
+    reg.counter(
+        f"fti_{op}_bytes_total", help=f"Bytes moved by FTI {op}s, by level.",
+        level=lvl,
+    ).inc(nbytes)
+    reg.quantile(
+        f"fti_{op}_seconds", help=f"FTI {op} wall latency, by level.", level=lvl
+    ).observe(seconds)
 
 
 @dataclass
@@ -116,6 +139,7 @@ class FTI:
         """
         level = CheckpointLevel(level)
         self._check_rank_data(rank_data)
+        t0 = time.perf_counter()
         ckpt_id = self._ckpt_counter
         self._ckpt_counter += 1
         self._lengths[ckpt_id] = {r: len(bytes(rank_data[r])) for r in rank_data}
@@ -161,6 +185,9 @@ class FTI:
             self._purge(prev, level)
         self.latest[level] = ckpt_id
         self.receipts.append(receipt)
+        _record_fti_metrics(
+            "checkpoint", level, time.perf_counter() - t0, receipt.total_bytes
+        )
         return receipt
 
     def _purge(self, ckpt_id: int, level: CheckpointLevel) -> None:
@@ -233,11 +260,19 @@ class FTI:
         if ckpt_id is None:
             raise RecoveryError(f"no successful checkpoint at level {level.value}")
 
+        t0 = time.perf_counter()
         if level == CheckpointLevel.L4:
-            return self._recover_l4(ckpt_id, _dry_run)
-        if level == CheckpointLevel.L3:
-            return self._recover_l3(ckpt_id, _dry_run)
-        return self._recover_l1_l2(ckpt_id, level, _dry_run)
+            out = self._recover_l4(ckpt_id, _dry_run)
+        elif level == CheckpointLevel.L3:
+            out = self._recover_l3(ckpt_id, _dry_run)
+        else:
+            out = self._recover_l1_l2(ckpt_id, level, _dry_run)
+        if not _dry_run:
+            _record_fti_metrics(
+                "recover", level, time.perf_counter() - t0,
+                sum(len(b) for b in out.values()),
+            )
+        return out
 
     def recover_any(self) -> tuple[CheckpointLevel, dict[int, bytes]]:
         """Recover from the cheapest level that works (L1 → L4)."""

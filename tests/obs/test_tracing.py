@@ -1,0 +1,112 @@
+"""Span trees, deterministic cross-process IDs, JSONL persistence."""
+
+import json
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    ObsContext,
+    Span,
+    Tracer,
+    derive_span_id,
+    dump_worker_metrics,
+    load_spans,
+    load_worker_metrics,
+    new_trace_id,
+    spans_jsonl_path,
+)
+
+
+def test_derive_span_id_deterministic_and_distinct():
+    tid = new_trace_id()
+    assert derive_span_id(tid, "task", "a:0") == derive_span_id(tid, "task", "a:0")
+    assert derive_span_id(tid, "task", "a:0") != derive_span_id(tid, "task", "a:1")
+    # the separator prevents part-boundary collisions
+    assert derive_span_id(tid, "ab", "c") != derive_span_id(tid, "a", "bc")
+    assert derive_span_id(new_trace_id(), "task", "a:0") != derive_span_id(
+        tid, "task", "a:0"
+    )
+
+
+def test_nested_spans_parent_from_stack():
+    tr = Tracer()
+    with tr.start_span("outer") as outer:
+        with tr.start_span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.tid == outer.tid  # nested spans share the lane
+    assert outer.parent_id is None
+    assert outer.duration >= 0
+    assert len(tr.finished_spans()) == 2
+
+
+def test_detached_spans_and_default_parent():
+    tr = Tracer(default_parent_id="feedbeef" * 2)
+    a = tr.start_span("a", push=False)
+    b = tr.start_span("b", push=False)
+    assert a.parent_id == "feedbeef" * 2
+    assert a.tid != b.tid  # detached spans get their own lanes
+    a.end()
+    b.end(outcome="done")
+    assert b.attrs["outcome"] == "done"
+
+
+def test_span_round_trip():
+    tr = Tracer()
+    sp = tr.start_span("x", n=3)
+    sp.end()
+    back = Span.from_dict(json.loads(json.dumps(sp.to_dict())))
+    assert back.span_id == sp.span_id
+    assert back.trace_id == sp.trace_id
+    assert back.attrs == {"n": 3}
+    assert back.t_end == sp.t_end
+
+
+def test_dump_drain_appends_each_span_once(tmp_path):
+    tr = Tracer()
+    path = str(tmp_path / "spans.jsonl")
+    tr.start_span("one", push=False).end()
+    assert tr.dump_jsonl(path, drain=True) == 1
+    tr.start_span("two", push=False).end()
+    assert tr.dump_jsonl(path, drain=True) == 1
+    names = [s.name for s in load_spans(path)]
+    assert sorted(names) == ["one", "two"]
+
+
+def test_load_spans_dedupes_and_skips_garbage(tmp_path):
+    obs_dir = str(tmp_path)
+    tr = Tracer()
+    sp = tr.start_span("task", push=False)
+    sp.end()
+    p1 = spans_jsonl_path(obs_dir, pid=111)
+    p2 = spans_jsonl_path(obs_dir, pid=222)
+    for p in (p1, p2):  # same span written by two processes
+        with open(p, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(sp.to_dict()) + "\n")
+    with open(p2, "a", encoding="utf-8") as fh:
+        fh.write('{"torn...\n')  # crash mid-write must not poison the load
+    spans = load_spans(obs_dir)
+    assert len(spans) == 1 and spans[0].span_id == sp.span_id
+
+
+def test_worker_metrics_round_trip(tmp_path):
+    obs_dir = str(tmp_path)
+    reg = MetricsRegistry()
+    reg.counter("n_total").inc(5)
+    dump_worker_metrics(obs_dir, reg.collect())
+    assert load_worker_metrics(obs_dir, skip_pid=os.getpid()) == []
+    loaded = load_worker_metrics(obs_dir)
+    assert len(loaded) == 1
+    assert loaded[0][0]["name"] == "n_total"
+    assert loaded[0][0]["data"]["value"] == 5.0
+
+
+def test_obs_context_paths_are_per_pid(tmp_path):
+    ctx = ObsContext(
+        trace_id=new_trace_id(),
+        parent_span_id=None,
+        obs_dir=str(tmp_path),
+        host_pid=os.getpid(),
+    )
+    assert spans_jsonl_path(ctx.obs_dir, pid=1) != spans_jsonl_path(
+        ctx.obs_dir, pid=2
+    )

@@ -208,6 +208,66 @@ def test_campaign_with_sim_snapshots_runs_clean(tmp_path, capsys):
     assert list((tmp_path / "snaps").rglob("*.snap")) == []
 
 
+def test_campaign_obs_flags_write_all_exporters(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import parse_prometheus_text
+
+    code = main(
+        [
+            "campaign",
+            "--reps", "2",
+            "--mtbf", "16",
+            "--periods", "5",
+            "--timesteps", "8",
+            "--metrics-out", str(tmp_path / "m.jsonl"),
+            "--metrics-interval", "0.1",
+            "--prom-out", str(tmp_path / "m.prom"),
+            "--trace-out", str(tmp_path / "trace.json"),
+        ]
+    )
+    assert code == 0
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+    # all three exporters delivered valid artifacts
+    fams = parse_prometheus_text((tmp_path / "m.prom").read_text())
+    assert "supervisor_tasks_completed_total" in fams
+    lines = (tmp_path / "m.jsonl").read_text().splitlines()
+    assert lines and json.loads(lines[-1])["metrics"]
+    trace = json.loads((tmp_path / "trace.json").read_text())
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "campaign" in names and "replica" in names
+
+
+def test_campaign_heartbeat_flag(tmp_path, capsys):
+    code = main(
+        [
+            "campaign",
+            "--reps", "2",
+            "--mtbf", "16",
+            "--periods", "5",
+            "--timesteps", "8",
+            "--heartbeat", "0.01",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "RESILIENCE CAMPAIGN" in captured.out
+    assert "done" in captured.err  # heartbeat lines go to stderr
+
+
+def test_metrics_summarize(tmp_path, capsys):
+    from repro.obs.export import write_prometheus
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("events_total").inc(7)
+    path = tmp_path / "m.prom"
+    write_prometheus(str(path), reg)
+    assert main(["metrics", "summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "events_total" in out and "7" in out
+
+
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
