@@ -1,0 +1,112 @@
+"""GUARD — resource-guard-on vs guard-off overhead on the Fig. 7 workload.
+
+Runs the 64-rank LULESH proxy (200 timesteps, L1 checkpoints every 40)
+through the supervised durability stack twice per round: bare (task
+supervisor + WAL journal, exactly what a campaign pays anyway), and
+with the full guard stack armed — the fsfault shim installed with a
+zero-probability config (every durable write pays the deterministic
+draw, the worst-case hot-path cost) plus a
+:class:`~repro.guard.resource.ResourceGuard` polled at supervisor
+cadence.  The min-of-rounds ratio lands in ``extra_info`` and is
+asserted to stay within the PR's overhead budget: resilience must be
+cheap enough to leave on.
+"""
+
+import tempfile
+import time
+
+from benchmarks.conftest import emit
+from repro.apps import lulesh_appbeo
+from repro.core import BESSTSimulator
+from repro.core.ft import scenario_l1
+from repro.core.supervisor import TaskSupervisor, WriteAheadJournal
+from repro.guard import fsfault
+from repro.guard.fsfault import FsFaultConfig, FsFaultInjector
+from repro.guard.resource import ResourceGuard, ResourceLimits
+from repro.obs.metrics import MetricsRegistry
+
+RANKS = 64
+TIMESTEPS = 200
+EPR = 10
+ROUNDS = 3
+
+#: guard-on / guard-off wall time (min of rounds) must stay under this
+OVERHEAD_BOUND = 1.1
+
+_CTX = None  # stashed for the in-process (n_workers=1) worker fn
+
+
+def _run_fig7(_payload) -> dict:
+    app = lulesh_appbeo(timesteps=TIMESTEPS, scenario=scenario_l1(40))
+    sim = BESSTSimulator(
+        app, _CTX.archbeo, nranks=RANKS, params={"epr": EPR}, seed=0
+    )
+    res = sim.run()
+    assert res.completed
+    return {"total_time": res.total_time}
+
+
+def _run_once(guard_on: bool) -> float:
+    """One supervised Fig. 7 run with WAL journalling; optionally guarded."""
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = WriteAheadJournal(f"{tmp}/bench.wal", {"bench": "guard"})
+        guard = None
+        if guard_on:
+            # Private registry: the bench must not pollute (or pay for
+            # contention on) the process-global one.
+            guard = ResourceGuard(
+                watch_path=tmp,
+                limits=ResourceLimits(),  # 64 MiB floor: never trips here
+                poll_interval_s=0.05,
+                registry=MetricsRegistry(),
+            )
+            fsfault.install(FsFaultInjector(FsFaultConfig(seed=0)))
+        supervisor = TaskSupervisor(
+            _run_fig7,
+            n_workers=1,
+            on_result=lambda key, result: journal.append(
+                {"kind": "result", "key": key, "result": result}
+            ),
+            guard=guard,
+        )
+        try:
+            t0 = time.perf_counter()
+            out = supervisor.run([("fig7", None)])
+            dt = time.perf_counter() - t0
+        finally:
+            if guard_on:
+                fsfault.uninstall()
+            journal.close()
+        assert not out.stats.aborted and len(out.results) == 1
+        if guard_on:
+            assert guard.polls >= 1 and not guard.paused
+    return dt
+
+
+def test_guard_overhead_fig7_workload(benchmark, ctx):
+    global _CTX
+    _CTX = ctx
+    _run_once(False)  # warm imports, model LUTs, allocator
+    _run_once(True)
+
+    bare = [_run_once(False) for _ in range(ROUNDS)]
+
+    def one_round():
+        return _run_once(True)
+
+    benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+    guarded = [_run_once(True) for _ in range(ROUNDS)]
+
+    # Compare min-of-rounds: the floor is the honest per-event cost,
+    # everything above it is scheduler noise.
+    ratio = min(guarded) / min(bare)
+    benchmark.extra_info["bare_s"] = min(bare)
+    benchmark.extra_info["guarded_s"] = min(guarded)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    emit(
+        benchmark,
+        "guard-overhead",
+        f"guard off: {min(bare):.3f}s  guard on: {min(guarded):.3f}s  "
+        f"ratio: {ratio:.3f}x (bound {OVERHEAD_BOUND}x)",
+    )
+    assert ratio <= OVERHEAD_BOUND

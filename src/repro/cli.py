@@ -154,6 +154,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0, help="harness fault injection seed"
     )
     camp.add_argument(
+        "--chaos-enospc", type=float, default=0.0,
+        help="probability a worker durable write fails with ENOSPC",
+    )
+    camp.add_argument(
+        "--chaos-eio", type=float, default=0.0,
+        help="probability a worker durable write fails with EIO",
+    )
+    camp.add_argument(
+        "--chaos-slow-io", type=float, default=0.0,
+        help="probability a worker durable write stalls (slow device)",
+    )
+    camp.add_argument(
+        "--chaos-fs-after", type=int, default=0, metavar="N",
+        help="arm worker filesystem faults only after N eligible operations",
+    )
+    camp.add_argument(
+        "--chaos-fs-path", default="",
+        help="only inject filesystem faults on paths containing this substring",
+    )
+    camp.add_argument(
+        "--chaos-enospc-after", type=int, default=None, metavar="N",
+        help="supervisor-side chaos: the (N+1)-th durable write in this "
+        "process fails with ENOSPC (the disk-fills-mid-campaign scenario)",
+    )
+    camp.add_argument(
+        "--guard", action="store_true",
+        help="enable the resource guard: poll disk/RSS/fd headroom and "
+        "degrade per the ladder instead of dying on exhaustion",
+    )
+    camp.add_argument(
+        "--guard-min-disk-mb", type=float, default=64.0,
+        help="disk-free floor (MiB) below which the ladder escalates",
+    )
+    camp.add_argument(
+        "--guard-max-rss-mb", type=float, default=None,
+        help="RSS ceiling (MiB) above which the ladder escalates",
+    )
+    camp.add_argument(
+        "--guard-max-fds", type=int, default=None,
+        help="open-fd ceiling above which the ladder escalates",
+    )
+    camp.add_argument(
+        "--guard-poll", type=float, default=1.0,
+        help="seconds between resource-guard polls",
+    )
+    camp.add_argument(
+        "--guard-max-pause", type=float, default=30.0,
+        help="max seconds in pause_submission before a resumable abort",
+    )
+    camp.add_argument(
         "--sim-snapshot-dir",
         help="directory for per-replica in-simulation snapshots; a "
         "retried/killed replica resumes mid-simulation from its newest "
@@ -316,8 +366,11 @@ def _write_text_atomic(path: str, text: str) -> None:
     Creates missing parent directories; a crash mid-write can never
     leave a truncated or absent report behind an existing one.
     """
+    from repro.guard.fsfault import fault_check, fsync_dir
+
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
+    fault_check("report.json", path, len(text))
     fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-", suffix=".json")
     try:
         with os.fdopen(fd, "w") as fh:
@@ -325,6 +378,7 @@ def _write_text_atomic(path: str, text: str) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(parent)  # the rename lives in the directory inode
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -349,13 +403,65 @@ def _run_campaign(args) -> tuple[str, int]:
         return ResilienceCampaign.report_from_journal(args.journal).format(), 0
 
     retry = RetryPolicy(max_retries=args.retries, timeout_s=args.timeout)
+    fs_dict = None
+    if args.chaos_enospc or args.chaos_eio or args.chaos_slow_io:
+        from repro.guard.fsfault import FsFaultConfig
+
+        fs_dict = FsFaultConfig(
+            enospc_prob=args.chaos_enospc,
+            eio_prob=args.chaos_eio,
+            slow_prob=args.chaos_slow_io,
+            after_ops=args.chaos_fs_after,
+            path_substring=args.chaos_fs_path,
+            seed=args.chaos_seed,
+        ).to_dict()
     injector = None
-    if args.chaos_crash or args.chaos_hang or args.chaos_garbage:
+    if args.chaos_crash or args.chaos_hang or args.chaos_garbage or fs_dict:
         injector = HarnessFaultInjector(
             crash_prob=args.chaos_crash,
             hang_prob=args.chaos_hang,
             garbage_prob=args.chaos_garbage,
             seed=args.chaos_seed,
+            fs=fs_dict,
+        )
+    host_shim_installed = False
+    if args.chaos_enospc_after is not None:
+        from repro.guard.fsfault import FsFaultConfig, FsFaultInjector, install
+
+        install(
+            FsFaultInjector(
+                FsFaultConfig(
+                    enospc_prob=1.0,
+                    after_ops=args.chaos_enospc_after,
+                    path_substring=args.chaos_fs_path,
+                    seed=args.chaos_seed,
+                )
+            )
+        )
+        host_shim_installed = True
+    guard = None
+    if args.guard:
+        from repro.guard import ResourceGuard, ResourceLimits
+        from repro.guard.ladder import DegradationLadder
+
+        watch = (
+            os.path.dirname(os.path.abspath(args.journal))
+            if args.journal
+            else os.getcwd()
+        )
+        guard = ResourceGuard(
+            watch_path=watch,
+            limits=ResourceLimits(
+                min_disk_free_bytes=int(args.guard_min_disk_mb * 1024**2),
+                max_rss_bytes=(
+                    int(args.guard_max_rss_mb * 1024**2)
+                    if args.guard_max_rss_mb is not None
+                    else None
+                ),
+                max_open_fds=args.guard_max_fds,
+            ),
+            ladder=DegradationLadder(max_pause_s=args.guard_max_pause),
+            poll_interval_s=args.guard_poll,
         )
     snapshot_kwargs = dict(
         sim_snapshot_dir=args.sim_snapshot_dir,
@@ -378,6 +484,7 @@ def _run_campaign(args) -> tuple[str, int]:
             retry=retry,
             fault_injector=injector,
             obs=obs,
+            guard=guard,
             **snapshot_kwargs,
         )
     else:
@@ -393,12 +500,17 @@ def _run_campaign(args) -> tuple[str, int]:
             journal_path=args.journal,
             fault_injector=injector,
             obs=obs,
+            guard=guard,
             **snapshot_kwargs,
         )
     try:
         report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
     finally:
         camp.close()
+        if host_shim_installed:
+            from repro.guard.fsfault import uninstall
+
+            uninstall()
     if args.json_out:
         _write_text_atomic(args.json_out, report.to_json())
     lines = [report.format()]
@@ -406,7 +518,20 @@ def _run_campaign(args) -> tuple[str, int]:
     if stats.retries or stats.pool_rebuilds or stats.quarantined:
         lines.append(f"harness: {stats.summary()}")
     code = 0
-    if report.points and all(p.replicas_done == 0 for p in report.points):
+    if camp.aborted:
+        # The resource guard (or a durable-write failure) requested a
+        # clean abort.  The journal holds every completed replica, so a
+        # re-run with --resume picks up exactly where this run stopped.
+        summary = {
+            "error": "campaign-aborted-resource-exhaustion",
+            "detail": camp.abort_reason,
+            "resumable": bool(args.journal),
+            "journal": args.journal or "",
+        }
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        lines.append(f"aborted: {camp.abort_reason}")
+        code = 4
+    elif report.points and all(p.replicas_done == 0 for p in report.points):
         # Every replica of every grid point was quarantined: the report
         # carries no data.  Emit a machine-readable error summary on
         # stderr and fail the process so schedulers/CI notice.

@@ -592,6 +592,16 @@ class ResilienceCampaign(MonteCarloRunner):
         exporters.  Observability data never enters replica results or
         the journal (beyond the report-ignored ``events_fired`` key), so
         runs are bit-identical with it on or off.
+    guard:
+        Optional :class:`~repro.guard.resource.ResourceGuard`.  Polled
+        from the supervision loop; its degradation ladder's stage
+        actions are wired to this campaign — shed oldest replica
+        snapshots, stretch the snapshot cadence, suspend the metric
+        exporters, pause task submission, and finally a clean resumable
+        abort (``self.aborted`` / ``self.abort_reason``) that leaves the
+        journal valid for :meth:`resume`.  With the guard attached but
+        no resource pressure, reports and journals are bit-identical to
+        an unguarded run.
     """
 
     def __init__(
@@ -606,6 +616,7 @@ class ResilienceCampaign(MonteCarloRunner):
         sim_snapshot_dir: Optional[str] = None,
         sim_snapshot_every: Optional[int] = None,
         obs=None,
+        guard=None,
     ) -> None:
         super().__init__(reps=reps, base_seed=base_seed)
         if n_workers < 1:
@@ -622,10 +633,21 @@ class ResilienceCampaign(MonteCarloRunner):
         self.sim_snapshot_dir = sim_snapshot_dir
         self.sim_snapshot_every = sim_snapshot_every
         self.obs = obs
+        self.guard = guard
+        #: set when a run stopped on resource exhaustion; the journal
+        #: holds every completed replica, so :meth:`resume` finishes the
+        #: sweep bit-identically once the pressure clears
+        self.aborted = False
+        self.abort_reason = ""
+        #: snapshot-cadence multiplier driven by the ladder's
+        #: ``stretch_cadence`` stage (applied to new replica payloads)
+        self._cadence_factor = 1
         self._journal: Optional[CampaignJournal] = None
         #: accumulated supervisor telemetry (kept out of report JSON so
         #: resumed and uninterrupted runs stay bit-identical)
         self.harness_stats = SupervisorStats()
+        if guard is not None:
+            self._wire_guard()
 
     @classmethod
     def resume(
@@ -637,6 +659,7 @@ class ResilienceCampaign(MonteCarloRunner):
         sim_snapshot_dir: Optional[str] = None,
         sim_snapshot_every: Optional[int] = None,
         obs=None,
+        guard=None,
     ) -> "ResilienceCampaign":
         """Rebuild a campaign from a journal's header (reps/seed/policy).
 
@@ -657,6 +680,7 @@ class ResilienceCampaign(MonteCarloRunner):
             sim_snapshot_dir=sim_snapshot_dir,
             sim_snapshot_every=sim_snapshot_every,
             obs=obs,
+            guard=guard,
         )
 
     @staticmethod
@@ -683,6 +707,54 @@ class ResilienceCampaign(MonteCarloRunner):
             partial=any(p.partial for p in reports),
         )
 
+    # -- degradation-ladder wiring ------------------------------------------------
+
+    def _wire_guard(self) -> None:
+        """Bind the guard's ladder stages to this campaign's resources."""
+        ladder = getattr(self.guard, "ladder", None)
+        if ladder is None:
+            return
+        from repro.guard.ladder import (
+            STAGE_SHED_SNAPSHOTS,
+            STAGE_STRETCH_CADENCE,
+            STAGE_SUSPEND_EXPORTERS,
+        )
+
+        ladder.on_enter(STAGE_SHED_SNAPSHOTS, self._shed_snapshots)
+        ladder.on_enter(STAGE_STRETCH_CADENCE, self._stretch_cadence)
+        ladder.on_exit(STAGE_STRETCH_CADENCE, self._restore_cadence)
+        ladder.on_enter(STAGE_SUSPEND_EXPORTERS, self._suspend_exporters)
+        ladder.on_exit(STAGE_SUSPEND_EXPORTERS, self._resume_exporters)
+        if self.obs is not None:
+            ladder.on_transition(self.obs.stage_changed)
+
+    def _shed_snapshots(self) -> None:
+        """Ladder stage: free disk by keeping only each replica's newest
+        snapshot (costs resume granularity, never correctness)."""
+        root = self.sim_snapshot_dir
+        if root is None or not os.path.isdir(root):
+            return
+        for name in sorted(os.listdir(root)):
+            sub = os.path.join(root, name)
+            if os.path.isdir(sub):
+                SnapshotStore(sub, keep=1).shed_oldest(keep=1)
+
+    def _stretch_cadence(self) -> None:
+        """Ladder stage: snapshot 4x less often (less disk churn; a
+        killed replica recomputes more on resume)."""
+        self._cadence_factor *= 4
+
+    def _restore_cadence(self) -> None:
+        self._cadence_factor = max(1, self._cadence_factor // 4)
+
+    def _suspend_exporters(self) -> None:
+        if self.obs is not None:
+            self.obs.suspend_exporters()
+
+    def _resume_exporters(self) -> None:
+        if self.obs is not None:
+            self.obs.resume_exporters()
+
     # -- execution ---------------------------------------------------------------
 
     def _replica_snapshot_dir(self, spec_key: str, replica) -> str:
@@ -695,7 +767,10 @@ class ResilienceCampaign(MonteCarloRunner):
         if self.sim_snapshot_dir is not None:
             snap_cfg = ReplicaSnapshotConfig(
                 directory=self._replica_snapshot_dir(spec_key, i),
-                every_events=self.sim_snapshot_every,
+                # Stretched by the ladder under resource pressure; the
+                # cadence only affects resume granularity, never the
+                # replica's (pure-function) results.
+                every_events=self.sim_snapshot_every * self._cadence_factor,
             )
         if self.obs is not None:
             # 5-tuple: slot 3 may be None, slot 4 joins the worker to
@@ -721,11 +796,23 @@ class ResilienceCampaign(MonteCarloRunner):
     def _run_replicas(self, spec: CampaignSpec) -> list[dict]:
         seeds = derive_seeds(self.base_seed, self.reps)
         spec_key = campaign_spec_key(spec, self.policy)
-        journal = self._get_journal()
         obs = self.obs
         done: dict[int, dict] = {}
+        # Journal open and point-header append are host-side durable
+        # writes: under ENOSPC they must abort the sweep resumably, not
+        # escape as an unhandled OSError.
+        try:
+            journal = self._get_journal()
+            if journal is not None:
+                journal.ensure_point(spec_key, spec)
+        except OSError as exc:
+            self.aborted = True
+            if not self.abort_reason:
+                self.abort_reason = (
+                    f"durable write failed for point {spec_key}: {exc}"
+                )
+            return []
         if journal is not None:
-            journal.ensure_point(spec_key, spec)
             done = dict(journal.completed(spec_key))
         if obs is not None:
             obs.point_started(spec_key)
@@ -777,10 +864,15 @@ class ResilienceCampaign(MonteCarloRunner):
                     fault_injector=self.fault_injector,
                     seed=self.base_seed,
                     obs=sup_obs,
+                    guard=self.guard,
                 )
                 out = supervisor.run(tasks)
                 if sup_obs is not None:
                     sup_obs.close()
+                if out.stats.aborted:
+                    self.aborted = True
+                    if not self.abort_reason:
+                        self.abort_reason = out.stats.abort_reason
                 self.harness_stats.merge(out.stats)
                 fresh = {
                     int(key.rsplit(":", 1)[1]): value
@@ -808,18 +900,31 @@ class ResilienceCampaign(MonteCarloRunner):
         periods: Sequence[int],
         **spec_kwargs,
     ) -> CampaignReport:
-        """Sweep fault rates × checkpoint periods."""
-        n_points = len(list(mtbfs)) * len(list(periods))
+        """Sweep fault rates × checkpoint periods.
+
+        On a resource-guard abort the sweep stops early: already-run
+        points are reported (``partial`` set), every journaled replica
+        is durable, and :meth:`resume` completes the grid bit-identically
+        once resources recover.
+        """
+        mtbfs = list(mtbfs)
+        periods = list(periods)
+        n_points = len(mtbfs) * len(periods)
         if self.obs is not None:
             self.obs.begin_campaign(n_points * self.reps, points=n_points)
+        points: list[CampaignPointReport] = []
         try:
-            points = [
-                self.run_point(
-                    CampaignSpec(node_mtbf_s=m, ckpt_period=p, **spec_kwargs)
-                )
-                for m in mtbfs
-                for p in periods
-            ]
+            for m in mtbfs:
+                for p in periods:
+                    points.append(
+                        self.run_point(
+                            CampaignSpec(node_mtbf_s=m, ckpt_period=p, **spec_kwargs)
+                        )
+                    )
+                    if self.aborted:
+                        break
+                if self.aborted:
+                    break
         finally:
             if self.obs is not None:
                 # Exporters run even on a failed sweep: a partial trace
@@ -829,7 +934,7 @@ class ResilienceCampaign(MonteCarloRunner):
             points=points,
             reps=self.reps,
             base_seed=self.base_seed,
-            partial=any(p.partial for p in points),
+            partial=self.aborted or any(p.partial for p in points),
         )
 
     def close(self) -> None:

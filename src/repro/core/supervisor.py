@@ -44,8 +44,10 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Callable, Optional
+
+from repro.guard.fsfault import fault_check, fsync_dir
 
 #: The failure taxonomy.  ``poisoned`` is terminal (quarantine); the
 #: others are retried under the :class:`RetryPolicy`.
@@ -86,6 +88,12 @@ class HarnessFaultInjector:
     hang_s: float = 3600.0
     seed: int = 0
     host_pid: int = 0
+    #: Optional filesystem-fault config for worker processes, as the
+    #: dict form of :class:`repro.guard.fsfault.FsFaultConfig` (kept as
+    #: a plain dict so the whole injector stays JSON-round-trippable
+    #: through :data:`FAULT_ENV_VAR`).  Workers install the fsfault shim
+    #: from it on first invocation; the supervisor process never does.
+    fs: Optional[dict] = None
 
     def __post_init__(self) -> None:
         total = (
@@ -115,7 +123,24 @@ class HarnessFaultInjector:
         if not raw:
             return None
         try:
-            return cls(**json.loads(raw))
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                return None
+            # Ignore unknown keys so an older worker can parse a config
+            # written by a newer supervisor (and vice versa).
+            known = {f.name for f in fields(cls)}
+            return cls(**{k: v for k, v in data.items() if k in known})
+        except (ValueError, TypeError):
+            return None
+
+    def fs_config(self):
+        """The worker-side :class:`FsFaultConfig`, or ``None``."""
+        if not self.fs:
+            return None
+        from repro.guard.fsfault import FsFaultConfig
+
+        try:
+            return FsFaultConfig.from_dict(self.fs)
         except (ValueError, TypeError):
             return None
 
@@ -157,11 +182,31 @@ class HarnessFaultInjector:
         return mode  # "garbage" or None
 
 
+def _ensure_worker_fs_faults(injector: "HarnessFaultInjector") -> None:
+    """Install the fsfault shim in a *worker* process, exactly once.
+
+    Pooled workers run many tasks; keeping one injector alive across
+    them preserves the deterministic op-index stream (and its
+    counters).  The supervisor's own process is excluded by the same
+    ``host_pid`` guard that protects it from harness faults.
+    """
+    if not injector.fs or os.getpid() == injector.host_pid:
+        return
+    from repro.guard import fsfault
+
+    if fsfault.active() is None:
+        cfg = injector.fs_config()
+        if cfg is not None:
+            fsfault.install(fsfault.FsFaultInjector(cfg))
+
+
 def _invoke(worker_fn: Callable, key: str, attempt: int, payload: Any) -> Any:
     """Worker-side entrypoint: run the harness fault gate, then the task."""
     injector = HarnessFaultInjector.from_env()
-    if injector is not None and injector.maybe_fail(key, attempt) == "garbage":
-        return GARBAGE
+    if injector is not None:
+        _ensure_worker_fs_faults(injector)
+        if injector.maybe_fail(key, attempt) == "garbage":
+            return GARBAGE
     return worker_fn(payload)
 
 
@@ -217,6 +262,8 @@ class SupervisorStats:
     retries: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
+    aborted: bool = False       #: clean resumable abort (resource guard / ENOSPC)
+    abort_reason: str = ""
     failures: list = field(default_factory=list)
     quarantined: list = field(default_factory=list)
     by_kind: dict = field(
@@ -228,6 +275,9 @@ class SupervisorStats:
         self.retries += other.retries
         self.pool_rebuilds += other.pool_rebuilds
         self.degraded = self.degraded or other.degraded
+        self.aborted = self.aborted or other.aborted
+        if not self.abort_reason:
+            self.abort_reason = other.abort_reason
         self.failures.extend(other.failures)
         self.quarantined.extend(other.quarantined)
         for kind, n in other.by_kind.items():
@@ -239,8 +289,19 @@ class SupervisorStats:
             f"completed={self.completed} retries={self.retries} "
             f"rebuilds={self.pool_rebuilds} degraded={self.degraded} "
             f"quarantined={len(self.quarantined)}"
+            + (f" aborted={self.abort_reason!r}" if self.aborted else "")
             + (f" [{kinds}]" if kinds else "")
         )
+
+
+class _SupervisorAbort(RuntimeError):
+    """Internal: unwind the supervision loops for a clean resumable abort.
+
+    Raised when the resource guard's ladder reaches its abort stage, or
+    when a durable write (``on_result``) fails with an :class:`OSError`
+    — every journaled record is already fsynced, so stopping *now*
+    leaves a valid journal that ``--resume`` can complete from.
+    """
 
 
 @dataclass
@@ -326,6 +387,7 @@ class TaskSupervisor:
         fault_injector: Optional[HarnessFaultInjector] = None,
         seed: int = 0,
         obs=None,
+        guard=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -337,26 +399,52 @@ class TaskSupervisor:
         self.on_quarantine = on_quarantine
         self.fault_injector = fault_injector
         self.obs = obs
+        self.guard = guard
         self._rng = random.Random(seed)
 
     # -- public entrypoint -----------------------------------------------------
 
     def run(self, tasks) -> SupervisorResult:
-        """Run ``tasks`` (an iterable of ``(key, payload)``) to completion."""
+        """Run ``tasks`` (an iterable of ``(key, payload)``) to completion.
+
+        A resource-guard abort (or an ``OSError`` from the ``on_result``
+        durable-write hook) does not raise: the run stops cleanly with
+        ``stats.aborted`` set and every already-journaled result intact,
+        so the caller can surface a *resumable* exit.
+        """
         stats = SupervisorStats()
         results: dict = {}
         queue = deque(_Task(key, payload) for key, payload in tasks)
         if not queue:
             return SupervisorResult(results, stats)
-        if self.n_workers == 1:
-            self._run_sequential(queue, results, stats)
-            return SupervisorResult(results, stats)
-        saved = self._install_fault_env()
         try:
-            self._run_supervised(queue, results, stats)
-        finally:
-            self._restore_fault_env(saved)
+            if self.n_workers == 1:
+                self._run_sequential(queue, results, stats)
+            else:
+                saved = self._install_fault_env()
+                try:
+                    self._run_supervised(queue, results, stats)
+                finally:
+                    self._restore_fault_env(saved)
+        except _SupervisorAbort as exc:
+            stats.aborted = True
+            stats.abort_reason = str(exc)
         return SupervisorResult(results, stats)
+
+    def _guard_poll(self) -> None:
+        """Tick the resource guard; unwind when its ladder says abort."""
+        if self.guard is None:
+            return
+        tick = getattr(self.guard, "tick", None)
+        if tick is not None:
+            tick()
+        if self.guard.abort_requested:
+            raise _SupervisorAbort(
+                self.guard.abort_reason or "resource guard requested abort"
+            )
+
+    def _paused(self) -> bool:
+        return self.guard is not None and self.guard.paused
 
     # -- supervised (process-pool) path ----------------------------------------
 
@@ -368,8 +456,18 @@ class TaskSupervisor:
             while queue or inflight:
                 if self.obs is not None:
                     self.obs.tick()
+                self._guard_poll()
                 now = time.monotonic()
-                broken = not self._submit_ready(pool, queue, inflight, now)
+                if self._paused():
+                    # Backpressure: stop launching, keep harvesting.  The
+                    # ladder bounds total pause time (then escalates to
+                    # abort), so this cannot livelock.
+                    broken = False
+                    if not inflight:
+                        time.sleep(0.05)
+                        continue
+                else:
+                    broken = not self._submit_ready(pool, queue, inflight, now)
                 if not broken:
                     if not inflight:
                         self._sleep_until_ready(queue, now)
@@ -494,6 +592,10 @@ class TaskSupervisor:
 
     def _run_sequential(self, queue, results, stats) -> None:
         while queue:
+            self._guard_poll()
+            if self._paused():
+                time.sleep(0.05)
+                continue
             task = queue.popleft()
             delay = task.not_before - time.monotonic()
             if delay > 0:
@@ -526,7 +628,18 @@ class TaskSupervisor:
         if self.obs is not None:
             self.obs.task_completed(task.key)
         if self.on_result is not None:
-            self.on_result(task.key, value)
+            try:
+                self.on_result(task.key, value)
+            except OSError as exc:
+                # Durable write failed (disk full, dying device...).
+                # Retrying the task cannot help — the task succeeded,
+                # the *journal* is what's sick — so stop cleanly.  The
+                # unjournaled result is recomputed on resume; replicas
+                # are pure functions of their payload, so the resumed
+                # report stays bit-identical.
+                raise _SupervisorAbort(
+                    f"durable write failed for {task.key}: {exc}"
+                ) from exc
 
     def _charge(self, task, kind, detail, queue, stats) -> None:
         task.attempts += 1
@@ -614,6 +727,7 @@ class WriteAheadJournal:
         self.records: list = []
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        fault_check("wal.open", path)
         if os.path.exists(path) and os.path.getsize(path) > 0:
             stored_meta, self.records = self._load(path, truncate_torn=True)
             if stored_meta != self.meta:
@@ -627,6 +741,10 @@ class WriteAheadJournal:
             self._write_line(
                 {"kind": "header", "version": self.VERSION, "meta": self.meta}
             )
+            # The file's *contents* are fsynced, but its directory entry
+            # is not until the directory inode itself is — without this
+            # a crash here can lose the whole journal file.
+            fsync_dir(parent)
 
     @classmethod
     def read(cls, path: str):
@@ -669,7 +787,9 @@ class WriteAheadJournal:
         self.records.append(record)
 
     def _write_line(self, obj: dict) -> None:
-        self._fh.write(json.dumps(obj, default=_json_default) + "\n")
+        data = json.dumps(obj, default=_json_default) + "\n"
+        fault_check("wal.append", self.path, len(data))
+        self._fh.write(data)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 

@@ -165,6 +165,16 @@ class Engine:
         )
         return self._autosnap
 
+    def _count_autosnap_disabled(self) -> None:
+        """Record that the autosnapshot cadence was dropped (disk fault)."""
+        self._autosnap = None
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "snapshot_autosnap_disabled_total",
+            help="Autosnapshot cadences disabled after a persistence OSError.",
+        ).inc()
+
     def attach_journal(self, journal: "EventJournal") -> None:
         """Append every subsequently fired event to *journal*."""
         self._journal = journal
@@ -266,7 +276,17 @@ class Engine:
                             if not (self.events_fired & 63):
                                 obs.queue_depth.observe(len(self.queue))
                     if self.events_fired >= autosnap_check:
-                        autosnap.maybe_take(self)
+                        try:
+                            autosnap.maybe_take(self)
+                        except OSError:
+                            # Snapshots are an optimization (resume
+                            # granularity), not correctness: on a full or
+                            # failing disk, drop the cadence and keep
+                            # simulating rather than kill the run.
+                            self._count_autosnap_disabled()
+                            autosnap = None
+                            autosnap_check = float("inf")
+                            continue
                         autosnap_check = autosnap.next_check_at(self.events_fired)
             finally:
                 # Metrics survive even a loop abort (e.g. the max_events

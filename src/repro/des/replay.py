@@ -29,6 +29,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.des.engine import Engine
 from repro.des.event import Event
+from repro.guard.fsfault import fault_check, fsync_dir
 
 #: Journal format version.
 JOURNAL_VERSION = 1
@@ -67,9 +68,14 @@ class EventJournal:
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         exists = os.path.exists(path) and os.path.getsize(path) > 0
+        fault_check("journal.open", path)
         if fresh or not exists:
             self._fh = open(path, "w")
             self._write({"kind": "journal", "version": JOURNAL_VERSION})
+            if fsync:
+                # Crash-durable journals need their directory entry
+                # persisted too, or a crash can lose the whole file.
+                fsync_dir(parent)
         else:
             read_journal(path)  # validate header before appending
             self._fh = open(path, "a")
@@ -80,7 +86,9 @@ class EventJournal:
         self._write({"t": t, "p": prio, "q": seq, "s": src, "d": dst})
 
     def _write(self, obj: dict) -> None:
-        self._fh.write(json.dumps(obj) + "\n")
+        data = json.dumps(obj) + "\n"
+        fault_check("journal.append", self.path, len(data))
+        self._fh.write(data)
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())

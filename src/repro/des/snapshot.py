@@ -49,6 +49,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.guard.fsfault import fault_check, fsync_dir
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.engine import Engine
 
@@ -129,6 +131,7 @@ class Snapshot:
         header["payload_bytes"] = len(self.payload)
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        fault_check("snapshot.write", path, len(self.payload))
         fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-", suffix=".snap")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -138,6 +141,7 @@ class Snapshot:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
+            fsync_dir(parent)  # make the rename itself crash-durable
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -253,18 +257,48 @@ class SnapshotStore:
         return [os.path.join(self.directory, n) for n in names]
 
     def latest(self) -> Optional[str]:
-        """Newest loadable snapshot path, or ``None``."""
+        """Newest loadable snapshot path, or ``None``.
+
+        Corrupt files are skipped — but *counted* (the
+        ``snapshot_corrupt_skipped_total`` counter, surfaced by
+        ``repro metrics summarize``): silent data loss is still loss.
+        """
         for path in reversed(self.paths()):
             try:
                 Snapshot.load(path)
             except SnapshotError:
+                self._count_corrupt_skip(path)
                 continue
             return path
         return None
 
+    @staticmethod
+    def _count_corrupt_skip(path: str) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "snapshot_corrupt_skipped_total",
+            help="Snapshot files skipped during recovery because they "
+            "failed integrity checks.",
+        ).inc()
+
     def load_latest(self) -> Optional[Snapshot]:
         path = self.latest()
         return Snapshot.load(path) if path is not None else None
+
+    def shed_oldest(self, keep: int = 1) -> int:
+        """Degradation-ladder stage action: free disk by deleting all but
+        the newest *keep* snapshots.  Returns how many were removed."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        shed = 0
+        for path in self.paths()[:-keep]:
+            try:
+                os.unlink(path)
+                shed += 1
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
+        return shed
 
     def clear(self) -> None:
         """Delete every snapshot in the store (e.g. after completion)."""
@@ -300,6 +334,9 @@ class AutoSnapshotPolicy:
     snapshots_taken: int = 0
     _events_at_last: int = field(default=0, repr=False)
     _wall_at_last: Optional[float] = field(default=None, repr=False)
+    _stretched: bool = field(default=False, repr=False)
+    _base_every_events: Optional[int] = field(default=None, repr=False)
+    _base_every_wall_s: Optional[float] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.every_events is None and self.every_wall_s is None:
@@ -344,6 +381,29 @@ class AutoSnapshotPolicy:
 
     def maybe_take(self, engine: "Engine") -> Optional[str]:
         return self.take(engine) if self.due(engine) else None
+
+    def stretch(self, factor: float) -> None:
+        """Degradation-ladder stage action: multiply the cadence by
+        *factor* (fewer snapshots → less disk churn).  Idempotent-safe:
+        the original cadence is remembered once, for
+        :meth:`restore_cadence` on ladder recovery."""
+        if factor <= 1.0:
+            raise ValueError(f"stretch factor must be > 1, got {factor}")
+        if not self._stretched:
+            self._stretched = True
+            self._base_every_events = self.every_events
+            self._base_every_wall_s = self.every_wall_s
+        if self.every_events is not None:
+            self.every_events = max(1, int(self.every_events * factor))
+        if self.every_wall_s is not None:
+            self.every_wall_s = self.every_wall_s * factor
+
+    def restore_cadence(self) -> None:
+        """Undo :meth:`stretch` (ladder stage exit)."""
+        if self._stretched:
+            self.every_events = self._base_every_events
+            self.every_wall_s = self._base_every_wall_s
+            self._stretched = False
 
     #: how often (in fired events) a wall-clock-only cadence is polled
     WALL_CHECK_STRIDE = 1024

@@ -1,0 +1,78 @@
+"""A minimal circuit breaker for exporter/sink recovery probes.
+
+Closed → writes flow.  A failure opens the circuit: writes are skipped
+(suspended, never fatal) until ``cooldown_s`` elapses, then exactly one
+half-open probe is allowed through — success recloses the circuit,
+failure re-opens it for another cooldown.  The degradation ladder uses
+:meth:`CircuitBreaker.force_open` to suspend a healthy sink outright;
+the same half-open machinery then serves as its recovery probe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """State machine guarding one sink."""
+
+    def __init__(
+        self,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.trips = 0        #: closed/forced → open transitions
+        self.probes = 0       #: half-open attempts granted
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded operation right now?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                self.probes += 1
+                return True  # the single recovery probe
+            return False
+        return False  # HALF_OPEN: a probe is already in flight
+
+    def success(self) -> None:
+        """The guarded operation succeeded: (re)close the circuit."""
+        self.state = CLOSED
+        self.failures = 0
+
+    def failure(self) -> None:
+        """The guarded operation failed: open (or re-open) the circuit."""
+        self.failures += 1
+        if self.state != OPEN:
+            self.trips += 1
+        self.state = OPEN
+        self._opened_at = self._clock()
+
+    def force_open(self) -> None:
+        """Suspend the sink without a failure (ladder stage action)."""
+        if self.state != OPEN:
+            self.trips += 1
+        self.state = OPEN
+        self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        """Unconditionally reclose (ladder stage exit)."""
+        self.state = CLOSED
+        self.failures = 0
+
+    @property
+    def suspended(self) -> bool:
+        return self.state != CLOSED

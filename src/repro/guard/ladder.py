@@ -1,0 +1,239 @@
+"""The degradation ladder: ordered, observable, reversible stages.
+
+When the :class:`~repro.guard.resource.ResourceGuard` reports sustained
+resource pressure, the ladder climbs one rung at a time, sacrificing
+the cheapest capability first:
+
+====================  ========================================================
+stage                 what is sacrificed
+====================  ========================================================
+``normal``            nothing
+``shed_snapshots``    old replica snapshots (disk) — resume granularity
+``stretch_cadence``   snapshot frequency — more recompute after a kill
+``suspend_exporters`` metric sinks (circuit-breaker opened) — telemetry lag
+``pause_submission``  new task launches (bounded backpressure) — throughput
+``abort``             the run itself — but *resumably*: journal stays valid
+====================  ========================================================
+
+Every transition is logged, appended to :attr:`transitions`, counted in
+``guard_ladder_transitions_total{direction,stage}`` and mirrored into
+the ``guard_ladder_stage`` gauge.  Transitions are **reversible**:
+sustained healthy polls walk back down one rung at a time, firing each
+stage's exit callbacks (e.g. reclosing a suspended sink's breaker so
+its half-open probe can retry the failed export).
+
+Pacing: the first pressure poll escalates immediately (normal never
+absorbs pressure); each further rung requires ``polls_per_stage``
+consecutive unhealthy polls, giving the previous stage's action a
+chance to relieve pressure.  ``pause_submission`` is additionally
+bounded by ``max_pause_s`` wall time, after which the ladder escalates
+to ``abort`` — backpressure must not become a livelock.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Optional, Sequence
+
+log = logging.getLogger("repro.guard")
+
+STAGE_NORMAL = "normal"
+STAGE_SHED_SNAPSHOTS = "shed_snapshots"
+STAGE_STRETCH_CADENCE = "stretch_cadence"
+STAGE_SUSPEND_EXPORTERS = "suspend_exporters"
+STAGE_PAUSE_SUBMISSION = "pause_submission"
+STAGE_ABORT = "abort"
+
+#: The ladder, mildest first.  Index into this tuple is the severity.
+STAGES = (
+    STAGE_NORMAL,
+    STAGE_SHED_SNAPSHOTS,
+    STAGE_STRETCH_CADENCE,
+    STAGE_SUSPEND_EXPORTERS,
+    STAGE_PAUSE_SUBMISSION,
+    STAGE_ABORT,
+)
+
+
+class DegradationLadder:
+    """Stage state machine with enter/exit callbacks and hysteresis."""
+
+    def __init__(
+        self,
+        registry=None,
+        polls_per_stage: int = 2,
+        recover_polls: int = 3,
+        max_pause_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        label: str = "guard",
+    ) -> None:
+        if polls_per_stage < 1:
+            raise ValueError(f"polls_per_stage must be >= 1, got {polls_per_stage}")
+        if recover_polls < 1:
+            raise ValueError(f"recover_polls must be >= 1, got {recover_polls}")
+        if max_pause_s <= 0:
+            raise ValueError(f"max_pause_s must be > 0, got {max_pause_s}")
+        self.registry = registry
+        self.polls_per_stage = polls_per_stage
+        self.recover_polls = recover_polls
+        self.max_pause_s = float(max_pause_s)
+        self.label = label
+        self._clock = clock
+        self._stage_i = 0
+        #: chronological ``(from, to, reason)`` record of every transition
+        self.transitions: list[tuple[str, str, str]] = []
+        self._enter: dict[str, list[Callable[[], None]]] = {}
+        self._exit: dict[str, list[Callable[[], None]]] = {}
+        self._observers: list[Callable[[str, str, str], None]] = []
+        self._unhealthy_streak = 0
+        self._healthy_streak = 0
+        self._pause_entered_at: Optional[float] = None
+        self.action_errors = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def stage(self) -> str:
+        return STAGES[self._stage_i]
+
+    @property
+    def paused(self) -> bool:
+        """Task submission should be held back (pause or abort stage)."""
+        return self._stage_i >= STAGES.index(STAGE_PAUSE_SUBMISSION)
+
+    @property
+    def abort_requested(self) -> bool:
+        return self.stage == STAGE_ABORT
+
+    @property
+    def abort_reason(self) -> str:
+        for frm, to, reason in reversed(self.transitions):
+            if to == STAGE_ABORT:
+                return reason
+        return ""
+
+    # -- wiring ---------------------------------------------------------------
+
+    def on_enter(self, stage: str, fn: Callable[[], None]) -> None:
+        """Run *fn* whenever the ladder escalates **into** *stage*."""
+        self._check_stage(stage)
+        self._enter.setdefault(stage, []).append(fn)
+
+    def on_exit(self, stage: str, fn: Callable[[], None]) -> None:
+        """Run *fn* whenever the ladder recovers **out of** *stage*."""
+        self._check_stage(stage)
+        self._exit.setdefault(stage, []).append(fn)
+
+    def on_transition(self, fn: Callable[[str, str, str], None]) -> None:
+        """Observe every transition as ``fn(from, to, reason)``."""
+        self._observers.append(fn)
+
+    @staticmethod
+    def _check_stage(stage: str) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown ladder stage {stage!r} (not in {STAGES})")
+
+    # -- transitions -----------------------------------------------------------
+
+    def escalate(self, reason: str) -> str:
+        """Climb one rung; returns the new stage (idempotent at abort)."""
+        if self.stage == STAGE_ABORT:
+            return self.stage
+        frm = self.stage
+        self._stage_i += 1
+        to = self.stage
+        if to == STAGE_PAUSE_SUBMISSION:
+            self._pause_entered_at = self._clock()
+        self._record(frm, to, reason, "up")
+        self._run_actions(self._enter.get(to, ()), to, "enter")
+        return to
+
+    def recover(self, reason: str) -> str:
+        """Step back down one rung, firing the left stage's exit actions."""
+        if self._stage_i == 0:
+            return self.stage
+        frm = self.stage
+        self._stage_i -= 1
+        to = self.stage
+        if frm == STAGE_PAUSE_SUBMISSION:
+            self._pause_entered_at = None
+        self._record(frm, to, reason, "down")
+        self._run_actions(self._exit.get(frm, ()), frm, "exit")
+        return to
+
+    def _record(self, frm: str, to: str, reason: str, direction: str) -> None:
+        self.transitions.append((frm, to, reason))
+        log.warning(
+            "[%s] degradation ladder %s: %s -> %s (%s)",
+            self.label, direction, frm, to, reason,
+        )
+        reg = self._registry()
+        reg.counter(
+            "guard_ladder_transitions_total",
+            help="Degradation-ladder stage transitions.",
+            direction=direction,
+            stage=to,
+        ).inc()
+        reg.gauge(
+            "guard_ladder_stage",
+            help="Current degradation-ladder stage index (0 = normal).",
+        ).set(self._stage_i)
+        for fn in self._observers:
+            try:
+                fn(frm, to, reason)
+            except Exception:  # pragma: no cover - observer bugs stay local
+                log.exception("ladder observer failed")
+
+    def _run_actions(self, actions, stage: str, kind: str) -> None:
+        # Stage actions free resources or toggle degraded modes; a buggy
+        # one must never take down the run the ladder exists to protect.
+        for fn in actions:
+            try:
+                fn()
+            except Exception:
+                self.action_errors += 1
+                self._registry().counter(
+                    "guard_action_errors_total",
+                    help="Ladder stage actions that raised.",
+                    stage=stage,
+                ).inc()
+                log.exception("ladder %s action for %s failed", kind, stage)
+
+    def _registry(self):
+        if self.registry is not None:
+            return self.registry
+        from repro.obs.metrics import get_registry
+
+        return get_registry()
+
+    # -- hysteresis feed (called by the ResourceGuard each poll) ---------------
+
+    def note_pressure(self, reasons: Sequence[str]) -> None:
+        """One poll showed resource pressure; maybe escalate."""
+        self._healthy_streak = 0
+        self._unhealthy_streak += 1
+        reason = ", ".join(reasons) if reasons else "resource pressure"
+        if (
+            self.stage == STAGE_PAUSE_SUBMISSION
+            and self._pause_entered_at is not None
+            and self._clock() - self._pause_entered_at >= self.max_pause_s
+        ):
+            self.escalate(
+                f"backpressure bound exceeded ({self.max_pause_s}s paused; {reason})"
+            )
+            self._unhealthy_streak = 0
+            return
+        if self._stage_i == 0 or self._unhealthy_streak >= self.polls_per_stage:
+            self.escalate(reason)
+            self._unhealthy_streak = 0
+
+    def note_healthy(self) -> None:
+        """One poll showed no pressure; maybe step back down."""
+        self._unhealthy_streak = 0
+        if self._stage_i == 0:
+            return
+        self._healthy_streak += 1
+        if self._healthy_streak >= self.recover_polls:
+            self.recover("pressure cleared")
+            self._healthy_streak = 0

@@ -1,0 +1,207 @@
+"""Resource watchdog: probe disk/RSS/fds, feed the degradation ladder.
+
+The :class:`ResourceGuard` is polled from the supervisor loop at
+heartbeat cadence.  Each (throttled) tick it samples
+
+* free disk bytes under the campaign's durable-write directory,
+* this process's resident set size (``/proc/self/status`` VmRSS),
+* this process's open file-descriptor count (``/proc/self/fd``),
+
+publishes the sample to the ``guard_disk_free_bytes`` /
+``guard_rss_bytes`` / ``guard_open_fds`` gauges, compares it against
+:class:`ResourceLimits`, and tells the ladder whether this poll was
+healthy or pressured.  The ladder owns all escalation/recovery policy;
+the guard only measures.
+
+Probes are injectable (``disk_probe=...`` etc.) so tests can simulate
+a filling disk without actually filling one; on platforms without
+``/proc`` the RSS/fd probes return ``None`` and their limits simply
+never trip.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.guard.ladder import DegradationLadder
+
+
+def disk_free_bytes(path: str) -> Optional[int]:
+    """Free bytes on the filesystem holding *path* (None if unstattable)."""
+    try:
+        return shutil.disk_usage(path).free
+    except OSError:
+        return None
+
+
+def rss_bytes() -> Optional[int]:
+    """Resident set size of this process, via /proc (None elsewhere)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    # "VmRSS:      123456 kB"
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def open_fd_count() -> Optional[int]:
+    """Open file descriptors of this process, via /proc (None elsewhere)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Thresholds below/above which a poll counts as pressured.
+
+    ``min_disk_free_bytes`` is a *floor* on headroom; ``max_rss_bytes``
+    and ``max_open_fds`` are ceilings.  ``None`` disables that check.
+    """
+
+    min_disk_free_bytes: Optional[int] = 64 * 1024 * 1024
+    max_rss_bytes: Optional[int] = None
+    max_open_fds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("min_disk_free_bytes", "max_rss_bytes", "max_open_fds"):
+            val = getattr(self, name)
+            if val is not None and val < 0:
+                raise ValueError(f"{name} must be >= 0, got {val}")
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One poll's measurements (None = probe unavailable)."""
+
+    disk_free: Optional[int]
+    rss: Optional[int]
+    open_fds: Optional[int]
+
+    def pressure_reasons(self, limits: ResourceLimits) -> list[str]:
+        reasons = []
+        if (
+            limits.min_disk_free_bytes is not None
+            and self.disk_free is not None
+            and self.disk_free < limits.min_disk_free_bytes
+        ):
+            reasons.append(
+                f"disk free {self.disk_free} < floor {limits.min_disk_free_bytes}"
+            )
+        if (
+            limits.max_rss_bytes is not None
+            and self.rss is not None
+            and self.rss > limits.max_rss_bytes
+        ):
+            reasons.append(f"rss {self.rss} > ceiling {limits.max_rss_bytes}")
+        if (
+            limits.max_open_fds is not None
+            and self.open_fds is not None
+            and self.open_fds > limits.max_open_fds
+        ):
+            reasons.append(f"open fds {self.open_fds} > ceiling {limits.max_open_fds}")
+        return reasons
+
+
+class ResourceGuard:
+    """Polls resource probes and drives a :class:`DegradationLadder`."""
+
+    def __init__(
+        self,
+        watch_path: str = ".",
+        limits: Optional[ResourceLimits] = None,
+        ladder: Optional[DegradationLadder] = None,
+        poll_interval_s: float = 1.0,
+        registry=None,
+        clock: Callable[[], float] = time.monotonic,
+        disk_probe: Optional[Callable[[str], Optional[int]]] = None,
+        rss_probe: Optional[Callable[[], Optional[int]]] = None,
+        fd_probe: Optional[Callable[[], Optional[int]]] = None,
+    ) -> None:
+        if poll_interval_s < 0:
+            raise ValueError(f"poll_interval_s must be >= 0, got {poll_interval_s}")
+        self.watch_path = str(watch_path)
+        self.limits = limits or ResourceLimits()
+        self.ladder = ladder or DegradationLadder(registry=registry, clock=clock)
+        self.poll_interval_s = float(poll_interval_s)
+        self.registry = registry
+        self._clock = clock
+        self._disk_probe = disk_probe or disk_free_bytes
+        self._rss_probe = rss_probe or rss_bytes
+        self._fd_probe = fd_probe or open_fd_count
+        self._next_poll_at = 0.0  # first tick always polls
+        self.polls = 0
+        self.last_sample: Optional[ResourceSample] = None
+
+    # Convenience pass-throughs so callers hold one object, not two.
+    @property
+    def stage(self) -> str:
+        return self.ladder.stage
+
+    @property
+    def paused(self) -> bool:
+        return self.ladder.paused
+
+    @property
+    def abort_requested(self) -> bool:
+        return self.ladder.abort_requested
+
+    @property
+    def abort_reason(self) -> str:
+        return self.ladder.abort_reason
+
+    def sample(self) -> ResourceSample:
+        """Probe now, unconditionally (no throttle, no ladder feed)."""
+        return ResourceSample(
+            disk_free=self._disk_probe(self.watch_path),
+            rss=self._rss_probe(),
+            open_fds=self._fd_probe(),
+        )
+
+    def tick(self, force: bool = False) -> Optional[ResourceSample]:
+        """Throttled poll: probe, publish gauges, feed the ladder.
+
+        Returns the sample when a poll ran, else ``None``.
+        """
+        now = self._clock()
+        if not force and now < self._next_poll_at:
+            return None
+        self._next_poll_at = now + self.poll_interval_s
+        self.polls += 1
+        samp = self.sample()
+        self.last_sample = samp
+        self._publish(samp)
+        reasons = samp.pressure_reasons(self.limits)
+        if reasons:
+            self.ladder.note_pressure(reasons)
+        else:
+            self.ladder.note_healthy()
+        return samp
+
+    def _publish(self, samp: ResourceSample) -> None:
+        reg = self.registry
+        if reg is None:
+            from repro.obs.metrics import get_registry
+
+            reg = get_registry()
+        if samp.disk_free is not None:
+            reg.gauge(
+                "guard_disk_free_bytes",
+                help="Free disk bytes under the guarded write directory.",
+            ).set(samp.disk_free)
+        if samp.rss is not None:
+            reg.gauge(
+                "guard_rss_bytes", help="Supervisor resident set size."
+            ).set(samp.rss)
+        if samp.open_fds is not None:
+            reg.gauge(
+                "guard_open_fds", help="Supervisor open file descriptors."
+            ).set(samp.open_fds)

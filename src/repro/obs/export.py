@@ -26,6 +26,8 @@ import re
 import time
 from typing import Callable, Mapping, Optional
 
+from repro.guard.circuit import CircuitBreaker
+from repro.guard.fsfault import fault_check, fsync_dir
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 log = logging.getLogger("repro.obs")
@@ -66,6 +68,13 @@ class JsonlSink:
     ``maybe_flush()`` is cheap when the interval has not elapsed (one
     monotonic read); ``maybe_flush(force=True)`` always writes.  Each
     line is ``{"ts": <epoch seconds>, "metrics": registry.collect()}``.
+
+    A :class:`~repro.guard.circuit.CircuitBreaker` guards the sink: a
+    failed write (or a degradation-ladder :meth:`suspend`) opens the
+    circuit and flushes are *skipped* — counted in
+    ``obs_export_suspended_total``, never fatal — until the breaker's
+    half-open probe (or a ladder :meth:`resume`) lets a write through
+    again.
     """
 
     def __init__(
@@ -73,6 +82,7 @@ class JsonlSink:
         path: str,
         registry: Optional[MetricsRegistry] = None,
         interval_s: float = 5.0,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -80,7 +90,17 @@ class JsonlSink:
         self.registry = registry if registry is not None else get_registry()
         self.interval_s = float(interval_s)
         self.lines_written = 0
+        self.suspended_skips = 0
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._last_flush: Optional[float] = None
+
+    def suspend(self) -> None:
+        """Ladder stage action: stop flushing until :meth:`resume`."""
+        self.breaker.force_open()
+
+    def resume(self) -> None:
+        """Ladder stage exit: reclose the breaker immediately."""
+        self.breaker.reset()
 
     def maybe_flush(self, force: bool = False) -> bool:
         now = time.monotonic()
@@ -88,6 +108,14 @@ class JsonlSink:
             if now - self._last_flush < self.interval_s:
                 return False
         self._last_flush = now
+        if not self.breaker.allow():
+            self.suspended_skips += 1
+            self.registry.counter(
+                "obs_export_suspended_total",
+                help="Exporter flushes skipped while suspended, by sink.",
+                sink=f"jsonl:{self.path}",
+            ).inc()
+            return False
 
         def _write() -> None:
             parent = os.path.dirname(os.path.abspath(self.path))
@@ -96,12 +124,15 @@ class JsonlSink:
                 {"ts": time.time(), "metrics": self.registry.collect()},
                 sort_keys=True,
             )
+            fault_check("metrics.jsonl", self.path, len(line) + 1)
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
 
         if guarded_export(f"jsonl:{self.path}", _write, self.registry):
+            self.breaker.success()
             self.lines_written += 1
             return True
+        self.breaker.failure()
         return False
 
     def close(self) -> None:
@@ -184,14 +215,23 @@ def registry_to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
 
 
 def write_prometheus(path: str, registry: Optional[MetricsRegistry] = None) -> str:
-    """Atomically write the text exposition snapshot to *path*."""
+    """Atomically and durably write the exposition snapshot to *path*."""
     text = registry_to_prometheus(registry)
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
+    fault_check("metrics.prom", path, len(text))
     tmp = f"{path}.tmp-{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(parent)  # the rename lives in the directory inode
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
     return path
 
 
@@ -371,10 +411,30 @@ def _load_metric_records(path: str) -> tuple[str, list[dict]]:
     return "prometheus", records
 
 
+#: Counters worth calling out in ``repro metrics summarize`` whenever
+#: they are nonzero — each marks degraded behaviour that was survived.
+_NOTABLE_COUNTERS = {
+    "snapshot_corrupt_skipped_total": "corrupt snapshot(s) skipped during recovery",
+    "snapshot_autosnap_disabled_total": "autosnapshot cadence(s) disabled by disk faults",
+    "obs_export_errors_total": "exporter write failure(s)",
+    "obs_export_suspended_total": "exporter flush(es) skipped while suspended",
+    "guard_ladder_transitions_total": "degradation-ladder transition(s)",
+    "guard_fsfaults_injected_total": "filesystem fault(s) injected",
+    "guard_action_errors_total": "ladder stage action error(s)",
+}
+
+
 def summarize_metrics(path: str) -> str:
     """Human-readable summary of a metrics file (JSONL or Prometheus)."""
     fmt, records = _load_metric_records(path)
     out = [f"{path}: {fmt}, {len(records)} series"]
+    notable: dict[str, float] = {}
+    for rec in records:
+        base = rec["name"]
+        if base in _NOTABLE_COUNTERS and rec["kind"] in ("counter", "gauge"):
+            value = rec["data"].get("value") or 0
+            if value:
+                notable[base] = notable.get(base, 0) + value
     for rec in records:
         labels = _fmt_labels(rec.get("labels") or {})
         data = rec["data"]
@@ -390,4 +450,8 @@ def summarize_metrics(path: str) -> str:
             )
             body = f"count={data['count']} {qs}"
         out.append(f"  {rec['name']}{labels} [{kind}] {body}")
+    for name in sorted(notable):
+        out.append(
+            f"  note: {_fmt_value(notable[name])} {_NOTABLE_COUNTERS[name]} ({name})"
+        )
     return "\n".join(out)

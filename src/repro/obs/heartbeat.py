@@ -62,6 +62,8 @@ class CampaignHeartbeat:
         self.events = 0
         self.resumed = 0
         self.lines_printed = 0
+        #: degradation-ladder stage shown in the line ("" or "normal" hides it)
+        self.stage = ""
         self._t_start = time.monotonic()
         self._last_beat: Optional[float] = None
 
@@ -86,6 +88,10 @@ class CampaignHeartbeat:
         self.quarantined += 1
         self.done += 1  # quarantined replicas no longer count toward ETA work
 
+    def set_stage(self, stage: str) -> None:
+        """Record the degradation-ladder stage for the status line."""
+        self.stage = stage
+
     # -- output --------------------------------------------------------------
 
     def status_line(self) -> str:
@@ -103,6 +109,8 @@ class CampaignHeartbeat:
         remaining = max(self.total - self.done, 0)
         if fresh > 0 and remaining > 0:
             parts.append(f"ETA {_fmt_eta(elapsed / fresh * remaining)}")
+        if self.stage and self.stage != "normal":
+            parts.append(f"degraded: {self.stage}")
         return f"[{self.label}] " + " · ".join(parts)
 
     def beat(self, force: bool = False) -> bool:

@@ -229,6 +229,73 @@ def test_injector_rejects_probabilities_over_one():
         HarnessFaultInjector(crash_prob=0.7, hang_prob=0.7)
 
 
+def test_from_env_tolerates_absent_empty_and_garbage_values():
+    assert FAULT_ENV_VAR not in os.environ
+    assert HarnessFaultInjector.from_env() is None
+    for raw in ("", "not json", "[1, 2]", '"a string"', "null", "3.5"):
+        os.environ[FAULT_ENV_VAR] = raw
+        try:
+            assert HarnessFaultInjector.from_env() is None, raw
+        finally:
+            del os.environ[FAULT_ENV_VAR]
+
+
+def test_from_env_ignores_unknown_keys():
+    os.environ[FAULT_ENV_VAR] = json.dumps(
+        {"crash_prob": 0.25, "seed": 7, "future_knob": True, "other": [1]}
+    )
+    try:
+        loaded = HarnessFaultInjector.from_env()
+    finally:
+        del os.environ[FAULT_ENV_VAR]
+    assert loaded is not None
+    assert loaded.crash_prob == 0.25 and loaded.seed == 7
+
+
+def test_from_env_rejects_invalid_probabilities():
+    os.environ[FAULT_ENV_VAR] = json.dumps({"crash_prob": 0.9, "hang_prob": 0.9})
+    try:
+        assert HarnessFaultInjector.from_env() is None
+    finally:
+        del os.environ[FAULT_ENV_VAR]
+
+
+def test_fs_config_round_trips_and_tolerates_garbage():
+    from repro.guard.fsfault import FsFaultConfig
+
+    fs = FsFaultConfig(eio_prob=0.5, path_substring="wal", seed=11)
+    inj = HarnessFaultInjector(fs=fs.to_dict())
+    os.environ[FAULT_ENV_VAR] = inj.to_env()
+    try:
+        loaded = HarnessFaultInjector.from_env()
+    finally:
+        del os.environ[FAULT_ENV_VAR]
+    assert loaded.fs_config() == fs
+    assert HarnessFaultInjector().fs_config() is None
+    assert HarnessFaultInjector(fs={"enospc_prob": 7.0}).fs_config() is None
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_host_pid_guard_stops_at_the_fork_boundary():
+    """``with_host_pid`` binds the *supervisor* pid: the same config that
+    is inert in the host must fire in a forked child."""
+    inj = HarnessFaultInjector(error_prob=1.0, seed=0).with_host_pid()
+    assert inj.maybe_fail("k", 1) is None  # inert in the host process
+    pid = os.fork()
+    if pid == 0:  # child: the guard no longer matches this pid
+        try:
+            fired = False
+            try:
+                inj.maybe_fail("k", 1)
+            except RuntimeError:
+                fired = True
+            os._exit(0 if fired else 1)
+        except BaseException:
+            os._exit(2)
+    _, status = os.waitpid(pid, 0)
+    assert os.waitstatus_to_exitcode(status) == 0
+
+
 # -- retry policy -----------------------------------------------------------------
 
 
@@ -247,6 +314,22 @@ def test_backoff_jitter_stays_within_band():
     for _ in range(100):
         d = policy.backoff_delay(2, rng)
         assert 0.1 <= d <= 0.3  # 0.2 +/- 50%
+
+
+def test_backoff_jitter_full_spread_never_negative():
+    policy = RetryPolicy(backoff_base_s=0.1, jitter=1.0, backoff_max_s=10.0)
+    rng = random.Random(3)
+    delays = [policy.backoff_delay(1, rng) for _ in range(500)]
+    assert all(0.0 <= d <= 0.2 for d in delays)  # 0.1 +/- 100%, floored at 0
+    # the jitter really spreads: both halves of the band are reached
+    assert min(delays) < 0.05 and max(delays) > 0.15
+
+
+def test_backoff_attempt_below_one_clamps_to_first_delay():
+    policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, jitter=0.0)
+    rng = random.Random(0)
+    assert policy.backoff_delay(0, rng) == policy.backoff_delay(1, rng) == 0.1
+    assert policy.backoff_delay(-3, rng) == 0.1
 
 
 def test_retry_policy_validation():

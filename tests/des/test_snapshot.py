@@ -219,3 +219,74 @@ def test_autosnapshot_policy_validation(tmp_path):
         AutoSnapshotPolicy(store=store, every_wall_s=0.0)
     with pytest.raises(ValueError):
         SnapshotStore(str(tmp_path), keep=0)
+
+
+def test_corrupt_skip_is_counted(tmp_path):
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    reg = MetricsRegistry()
+    set_registry(reg)
+    try:
+        store = SnapshotStore(str(tmp_path), keep=3)
+        eng = Engine(seed=0)
+        build_pair(eng)
+        with pytest.raises(Exception):
+            eng.run(max_events=3)
+        store.write(eng.snapshot())
+        eng2 = Engine(seed=0)
+        build_pair(eng2)
+        with pytest.raises(Exception):
+            eng2.run(max_events=6)
+        bad = store.write(eng2.snapshot())
+        with open(bad, "r+b") as fh:
+            fh.truncate(os.path.getsize(bad) - 20)
+        store.latest()
+        assert reg.counter("snapshot_corrupt_skipped_total").value == 1
+    finally:
+        set_registry(None)
+
+
+def test_shed_oldest_keeps_newest(tmp_path):
+    store = SnapshotStore(str(tmp_path), keep=10)
+    for i in range(4):  # four snapshot files, oldest first
+        (tmp_path / f"snap-{i:08d}.snap").write_text("placeholder")
+    newest = store.paths()[-1]
+    assert store.shed_oldest(keep=1) == 3
+    assert store.paths() == [newest]
+    assert store.shed_oldest(keep=1) == 0  # idempotent
+    with pytest.raises(ValueError):
+        store.shed_oldest(keep=0)
+
+
+def test_autosnapshot_stretch_and_restore_cadence(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    policy = AutoSnapshotPolicy(store=store, every_events=10, every_wall_s=2.0)
+    policy.stretch(4)
+    assert policy.every_events == 40 and policy.every_wall_s == 8.0
+    policy.stretch(4)  # stretches compound; restore returns to base
+    assert policy.every_events == 160
+    policy.restore_cadence()
+    assert policy.every_events == 10 and policy.every_wall_s == 2.0
+    policy.restore_cadence()  # no-op when already at base
+    assert policy.every_events == 10
+    with pytest.raises(ValueError):
+        policy.stretch(0.5)
+
+
+def test_engine_disables_autosnap_on_write_failure_and_completes(tmp_path):
+    from repro.guard.fsfault import FsFaultConfig, injected
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    reg = MetricsRegistry()
+    set_registry(reg)
+    try:
+        eng = Engine(seed=2, trace=True)
+        build_pair(eng)
+        eng.enable_autosnapshot(str(tmp_path), every_events=5, keep=10)
+        with injected(FsFaultConfig(enospc_prob=1.0, ops=("snapshot.write",))):
+            eng.run()  # must complete despite every snapshot write failing
+        assert reg.counter("snapshot_autosnap_disabled_total").value == 1
+        assert SnapshotStore(str(tmp_path)).paths() == []
+        assert trace_digest(eng) == trace_digest(run_reference(seed=2))
+    finally:
+        set_registry(None)

@@ -1,0 +1,281 @@
+"""Chaos suite: kill the disk mid-campaign, assert graceful degradation.
+
+The acceptance properties pinned here:
+
+* an injected ENOSPC on the campaign journal never escapes
+  :class:`ResilienceCampaign` as an unhandled ``OSError`` — the run
+  aborts cleanly with a valid, resumable journal,
+* resuming after "space restoration" (shim uninstalled) reproduces a
+  report bit-identical to an uninterrupted run,
+* a guard-enabled run under zero pressure is byte-identical (report
+  and journal) to a guard-free run,
+* snapshot-write failures inside workers degrade (autosnapshot
+  disabled, counted) without corrupting results,
+* sustained disk pressure walks the degradation ladder and, if it
+  never clears, ends in a clean resumable abort.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import ResilienceCampaign
+from repro.core.supervisor import HarnessFaultInjector, RetryPolicy
+from repro.guard import fsfault
+from repro.guard.fsfault import FsFaultConfig, FsFaultInjector, injected
+from repro.guard.ladder import (
+    STAGE_ABORT,
+    STAGE_SHED_SNAPSHOTS,
+    STAGE_STRETCH_CADENCE,
+    STAGE_SUSPEND_EXPORTERS,
+    DegradationLadder,
+)
+from repro.guard.resource import ResourceGuard, ResourceLimits
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+GRID_KW = dict(timesteps=15)
+MTBFS = [8.0]
+PERIODS = [5]
+
+
+@pytest.fixture(autouse=True)
+def _clean_shim():
+    set_registry(MetricsRegistry())
+    fsfault.uninstall()
+    yield
+    fsfault.uninstall()
+    set_registry(None)
+
+
+def run_calm(tmp_path, name="calm.wal", reps=3, **kw):
+    journal = str(tmp_path / name)
+    camp = ResilienceCampaign(
+        reps=reps, base_seed=0, journal_path=journal, **kw
+    )
+    try:
+        report = camp.run_grid(MTBFS, PERIODS, **GRID_KW)
+    finally:
+        camp.close()
+    return camp, report, journal
+
+
+def make_pressured_guard(disk_free=1, polls_per_stage=1, max_pause_s=0.01):
+    """A guard whose fake probes always report a nearly-full disk."""
+    return ResourceGuard(
+        watch_path=".",
+        limits=ResourceLimits(min_disk_free_bytes=1024),
+        ladder=DegradationLadder(
+            polls_per_stage=polls_per_stage, max_pause_s=max_pause_s
+        ),
+        poll_interval_s=0.0,
+        disk_probe=lambda path: disk_free,
+        rss_probe=lambda: None,
+        fd_probe=lambda: None,
+    )
+
+
+# -- ENOSPC mid-campaign: clean abort, bit-identical resume ----------------------
+
+
+def test_enospc_midrun_aborts_cleanly_and_resume_is_bit_identical(tmp_path):
+    # Baseline, also counting how many WAL appends a full run performs.
+    with injected(FsFaultConfig(ops=("wal.append",))) as counter:
+        _, calm_report, _ = run_calm(tmp_path, "calm.wal")
+    total_appends = counter.ops_seen
+    assert total_appends >= 5  # header + point + 3 replicas at minimum
+
+    # Re-run with the disk "filling up" halfway through the append stream.
+    journal = str(tmp_path / "chaos.wal")
+    camp = ResilienceCampaign(reps=3, base_seed=0, journal_path=journal)
+    with injected(
+        FsFaultConfig(
+            enospc_prob=1.0, after_ops=total_appends // 2, ops=("wal.append",)
+        )
+    ):
+        try:
+            report = camp.run_grid(MTBFS, PERIODS, **GRID_KW)  # must not raise
+        finally:
+            camp.close()
+    assert camp.aborted
+    assert "durable write failed" in camp.abort_reason
+    assert report.partial
+
+    # The journal survived the abort: valid records, no duplicates.
+    with open(journal) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    done = [r for r in records if r.get("kind") == "replica"]
+    keys = {(r["spec_key"], r["replica"]) for r in done}
+    assert len(keys) == len(done) < 3  # partial, never duplicated
+
+    # "Space freed" (shim gone): resume completes and matches the calm run.
+    resumed = ResilienceCampaign.resume(journal)
+    try:
+        resumed_report = resumed.run_grid(MTBFS, PERIODS, **GRID_KW)
+    finally:
+        resumed.close()
+    assert not resumed.aborted
+    assert resumed_report.to_json() == calm_report.to_json()
+
+
+def test_no_oserror_escapes_under_any_cut_point(tmp_path):
+    """Sweep the ENOSPC arming index across the whole append stream."""
+    with injected(FsFaultConfig(ops=("wal.append",))) as counter:
+        run_calm(tmp_path, "count.wal", reps=2)
+    total = counter.ops_seen
+    for cut in range(total):
+        journal = str(tmp_path / f"cut{cut}.wal")
+        camp = ResilienceCampaign(reps=2, base_seed=0, journal_path=journal)
+        with injected(
+            FsFaultConfig(enospc_prob=1.0, after_ops=cut, ops=("wal.append",))
+        ):
+            try:
+                camp.run_grid(MTBFS, PERIODS, **GRID_KW)  # never raises
+            finally:
+                camp.close()
+        assert camp.aborted  # every cut aborts (prob 1.0 keeps firing)
+        # ... and every cut leaves a recoverable journal.  A cut before
+        # the header lands leaves an *empty* file: nothing was journaled,
+        # so the recovery story is a fresh run, not a resume.
+        if os.path.getsize(journal) == 0:
+            resumed = ResilienceCampaign(
+                reps=2, base_seed=0, journal_path=journal
+            )
+        else:
+            resumed = ResilienceCampaign.resume(journal)
+        try:
+            report = resumed.run_grid(MTBFS, PERIODS, **GRID_KW)
+        finally:
+            resumed.close()
+        assert not report.partial
+
+
+# -- guard on, zero pressure: byte-identical ------------------------------------
+
+
+def test_guard_without_pressure_changes_nothing(tmp_path):
+    _, plain_report, plain_journal = run_calm(tmp_path, "plain.wal")
+
+    guard = ResourceGuard(
+        watch_path=str(tmp_path),
+        limits=ResourceLimits(min_disk_free_bytes=1),  # never trips
+        poll_interval_s=0.0,
+        rss_probe=lambda: None,
+        fd_probe=lambda: None,
+    )
+    camp, guarded_report, guarded_journal = run_calm(
+        tmp_path, "guarded.wal", guard=guard
+    )
+    assert guard.polls > 0  # the guard really ran
+    assert camp.guard.stage == "normal"
+    assert not camp.aborted
+    assert guarded_report.to_json() == plain_report.to_json()
+    with open(plain_journal, "rb") as a, open(guarded_journal, "rb") as b:
+        assert a.read() == b.read()
+
+
+# -- worker-side snapshot faults degrade, never corrupt --------------------------
+
+
+def test_worker_snapshot_enospc_degrades_without_corrupting_results(tmp_path):
+    _, calm_report, _ = run_calm(
+        tmp_path,
+        "calm.wal",
+        reps=2,
+        sim_snapshot_dir=str(tmp_path / "snaps_calm"),
+        sim_snapshot_every=5,
+    )
+
+    # Same campaign, but every worker snapshot write hits ENOSPC.
+    injector = HarnessFaultInjector(
+        fs=FsFaultConfig(enospc_prob=1.0, ops=("snapshot.write",)).to_dict()
+    )
+    camp, chaos_report, _ = run_calm(
+        tmp_path,
+        "chaos.wal",
+        reps=2,
+        sim_snapshot_dir=str(tmp_path / "snaps_chaos"),
+        sim_snapshot_every=5,
+        fault_injector=injector,
+        n_workers=2,
+        retry=RetryPolicy(max_retries=2, backoff_base_s=0.01, timeout_s=60.0),
+    )
+    assert not camp.aborted
+    assert chaos_report.to_json() == calm_report.to_json()
+
+
+def test_worker_fs_config_survives_env_round_trip():
+    fs = FsFaultConfig(eio_prob=0.25, path_substring="wal", seed=3)
+    injector = HarnessFaultInjector(crash_prob=0.1, fs=fs.to_dict())
+    os.environ["REPRO_HARNESS_FAULTS"] = injector.with_host_pid().to_env()
+    try:
+        parsed = HarnessFaultInjector.from_env()
+    finally:
+        del os.environ["REPRO_HARNESS_FAULTS"]
+    assert parsed is not None
+    assert parsed.fs_config() == fs
+    assert parsed.host_pid == os.getpid()
+
+
+# -- sustained pressure: the ladder drives the campaign --------------------------
+
+
+def test_sustained_pressure_walks_ladder_to_resumable_abort(tmp_path):
+    guard = make_pressured_guard()
+    journal = str(tmp_path / "pressured.wal")
+    # Enough replicas that the per-iteration guard polls can walk all
+    # five rungs before the task list drains.
+    camp = ResilienceCampaign(
+        reps=8, base_seed=0, journal_path=journal, guard=guard
+    )
+    try:
+        report = camp.run_grid(MTBFS, PERIODS, **GRID_KW)
+    finally:
+        camp.close()
+    assert camp.aborted
+    assert report.partial
+    assert guard.stage == STAGE_ABORT
+    stages_entered = [to for _, to, _ in guard.ladder.transitions]
+    assert stages_entered[:3] == [
+        STAGE_SHED_SNAPSHOTS,
+        STAGE_STRETCH_CADENCE,
+        STAGE_SUSPEND_EXPORTERS,
+    ]
+    assert stages_entered[-1] == STAGE_ABORT
+
+    # Pressure cleared: a guard-free resume completes and matches calm.
+    _, calm_report, _ = run_calm(tmp_path, "calm.wal", reps=8)
+    resumed = ResilienceCampaign.resume(journal)
+    try:
+        resumed_report = resumed.run_grid(MTBFS, PERIODS, **GRID_KW)
+    finally:
+        resumed.close()
+    assert resumed_report.to_json() == calm_report.to_json()
+
+
+def test_stage_actions_shed_snapshots_and_stretch_cadence(tmp_path):
+    """The campaign's ladder wiring: stage actions touch real state."""
+    snap_root = tmp_path / "snaps"
+    for replica in ("r0", "r1"):
+        d = snap_root / replica
+        d.mkdir(parents=True)
+        for i in range(3):  # three fake snapshot files, oldest first
+            (d / f"snap-{i:08d}.snap").write_text("placeholder")
+    guard = make_pressured_guard()
+    camp = ResilienceCampaign(
+        reps=1,
+        base_seed=0,
+        guard=guard,
+        sim_snapshot_dir=str(snap_root),
+        sim_snapshot_every=10,
+    )
+    assert camp._cadence_factor == 1
+    guard.ladder.escalate("disk low")  # -> shed_snapshots
+    for replica in ("r0", "r1"):
+        remaining = sorted(os.listdir(snap_root / replica))
+        assert remaining == ["snap-00000002.snap"]  # only the newest survives
+    guard.ladder.escalate("disk low")  # -> stretch_cadence
+    assert camp._cadence_factor == 4
+    guard.ladder.recover("space freed")  # exit stretch_cadence
+    assert camp._cadence_factor == 1
+    assert guard.ladder.action_errors == 0

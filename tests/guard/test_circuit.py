@@ -1,0 +1,66 @@
+"""Circuit breaker: trip, cooldown, half-open probe, forced suspension."""
+
+import pytest
+
+from repro.guard.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_rejects_nonpositive_cooldown():
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=0)
+
+
+def test_closed_allows_and_success_keeps_closed():
+    b = CircuitBreaker(clock=FakeClock())
+    assert b.allow() and not b.suspended
+    b.success()
+    assert b.state == CLOSED
+
+
+def test_failure_opens_and_blocks_until_cooldown():
+    clock = FakeClock()
+    b = CircuitBreaker(cooldown_s=5.0, clock=clock)
+    b.failure()
+    assert b.state == OPEN and b.suspended and b.trips == 1
+    assert not b.allow()
+    clock.advance(4.9)
+    assert not b.allow()
+    clock.advance(0.2)
+    assert b.allow()  # the single half-open probe
+    assert b.state == HALF_OPEN and b.probes == 1
+    assert not b.allow()  # no second probe while one is in flight
+
+
+def test_probe_success_recloses_probe_failure_reopens():
+    clock = FakeClock()
+    b = CircuitBreaker(cooldown_s=1.0, clock=clock)
+    b.failure()
+    clock.advance(1.0)
+    assert b.allow()
+    b.failure()  # probe failed
+    assert b.state == OPEN and b.trips == 2
+    clock.advance(1.0)
+    assert b.allow()
+    b.success()  # probe succeeded
+    assert b.state == CLOSED and not b.suspended and b.failures == 0
+
+
+def test_force_open_then_reset_round_trip():
+    b = CircuitBreaker(clock=FakeClock())
+    b.force_open()
+    assert b.suspended and b.trips == 1
+    b.force_open()  # idempotent trip count while already open
+    assert b.trips == 1
+    b.reset()
+    assert b.state == CLOSED and b.allow()

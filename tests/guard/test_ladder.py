@@ -1,0 +1,208 @@
+"""Degradation ladder: hysteresis, callbacks, backpressure bound, recovery."""
+
+import pytest
+
+from repro.guard.circuit import CircuitBreaker
+from repro.guard.ladder import (
+    STAGE_ABORT,
+    STAGE_NORMAL,
+    STAGE_PAUSE_SUBMISSION,
+    STAGE_SHED_SNAPSHOTS,
+    STAGE_STRETCH_CADENCE,
+    STAGE_SUSPEND_EXPORTERS,
+    STAGES,
+    DegradationLadder,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_ladder(**kw):
+    kw.setdefault("registry", MetricsRegistry())
+    kw.setdefault("clock", FakeClock())
+    return DegradationLadder(**kw)
+
+
+def test_stage_order_is_the_documented_ladder():
+    assert STAGES == (
+        STAGE_NORMAL,
+        STAGE_SHED_SNAPSHOTS,
+        STAGE_STRETCH_CADENCE,
+        STAGE_SUSPEND_EXPORTERS,
+        STAGE_PAUSE_SUBMISSION,
+        STAGE_ABORT,
+    )
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ValueError):
+        make_ladder(polls_per_stage=0)
+    with pytest.raises(ValueError):
+        make_ladder(recover_polls=0)
+    with pytest.raises(ValueError):
+        make_ladder(max_pause_s=0)
+    with pytest.raises(ValueError):
+        make_ladder().on_enter("no_such_stage", lambda: None)
+
+
+def test_first_pressure_escalates_immediately_then_needs_streak():
+    ladder = make_ladder(polls_per_stage=3)
+    ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_SHED_SNAPSHOTS  # normal never absorbs
+    ladder.note_pressure(["disk low"])
+    ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_SHED_SNAPSHOTS  # streak of 2 < 3
+    ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_STRETCH_CADENCE
+
+
+def test_healthy_poll_resets_unhealthy_streak():
+    ladder = make_ladder(polls_per_stage=2, recover_polls=100)
+    ladder.note_pressure(["x"])  # -> shed_snapshots
+    ladder.note_pressure(["x"])  # streak 1
+    ladder.note_healthy()  # streak resets
+    ladder.note_pressure(["x"])  # streak 1 again
+    assert ladder.stage == STAGE_SHED_SNAPSHOTS
+    ladder.note_pressure(["x"])  # streak 2 -> escalate
+    assert ladder.stage == STAGE_STRETCH_CADENCE
+
+
+def test_full_climb_and_full_recovery_with_callbacks():
+    ladder = make_ladder(polls_per_stage=1, recover_polls=2)
+    fired = []
+    for stage in STAGES[1:]:
+        ladder.on_enter(stage, lambda s=stage: fired.append(("enter", s)))
+        ladder.on_exit(stage, lambda s=stage: fired.append(("exit", s)))
+    for _ in range(5):
+        ladder.note_pressure(["pressure"])
+    assert ladder.stage == STAGE_ABORT and ladder.abort_requested
+    assert [f for f in fired if f[0] == "enter"] == [
+        ("enter", s) for s in STAGES[1:]
+    ]
+    fired.clear()
+    for _ in range(2 * 5):
+        ladder.note_healthy()
+    assert ladder.stage == STAGE_NORMAL
+    assert [f for f in fired if f[0] == "exit"] == [
+        ("exit", s) for s in reversed(STAGES[1:])
+    ]
+
+
+def test_paused_at_pause_and_abort_stages():
+    ladder = make_ladder(polls_per_stage=1)
+    assert not ladder.paused
+    for _ in range(4):
+        ladder.note_pressure(["p"])
+    assert ladder.stage == STAGE_PAUSE_SUBMISSION and ladder.paused
+    ladder.note_pressure(["p"])
+    assert ladder.stage == STAGE_ABORT and ladder.paused
+
+
+def test_backpressure_bound_forces_abort():
+    clock = FakeClock()
+    ladder = make_ladder(polls_per_stage=100, max_pause_s=10.0, clock=clock)
+    for _ in range(4):
+        ladder._unhealthy_streak = 99  # reach pause quickly despite hysteresis
+        ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_PAUSE_SUBMISSION
+    clock.advance(9.0)
+    ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_PAUSE_SUBMISSION  # bound not yet hit
+    clock.advance(1.5)
+    ladder.note_pressure(["disk low"])
+    assert ladder.stage == STAGE_ABORT
+    assert "backpressure bound exceeded" in ladder.abort_reason
+
+
+def test_escalate_idempotent_at_abort_and_recover_noop_at_normal():
+    ladder = make_ladder()
+    assert ladder.recover("nothing") == STAGE_NORMAL
+    for _ in range(10):
+        ladder.escalate("boom")
+    assert ladder.stage == STAGE_ABORT
+    assert len(ladder.transitions) == len(STAGES) - 1
+
+
+def test_action_errors_are_counted_never_propagated():
+    reg = MetricsRegistry()
+    ladder = make_ladder(registry=reg)
+
+    def bad_action():
+        raise RuntimeError("buggy stage action")
+
+    ladder.on_enter(STAGE_SHED_SNAPSHOTS, bad_action)
+    ladder.escalate("disk low")  # must not raise
+    assert ladder.action_errors == 1
+    assert (
+        reg.counter(
+            "guard_action_errors_total", stage=STAGE_SHED_SNAPSHOTS
+        ).value
+        == 1
+    )
+
+
+def test_transitions_are_observable_in_metrics_and_log_list():
+    reg = MetricsRegistry()
+    ladder = make_ladder(registry=reg)
+    seen = []
+    ladder.on_transition(lambda frm, to, why: seen.append((frm, to, why)))
+    ladder.escalate("disk low")
+    ladder.recover("space freed")
+    assert seen == [
+        (STAGE_NORMAL, STAGE_SHED_SNAPSHOTS, "disk low"),
+        (STAGE_SHED_SNAPSHOTS, STAGE_NORMAL, "space freed"),
+    ]
+    assert ladder.transitions == seen
+    assert (
+        reg.counter(
+            "guard_ladder_transitions_total",
+            direction="up",
+            stage=STAGE_SHED_SNAPSHOTS,
+        ).value
+        == 1
+    )
+    assert (
+        reg.counter(
+            "guard_ladder_transitions_total",
+            direction="down",
+            stage=STAGE_NORMAL,
+        ).value
+        == 1
+    )
+    assert reg.gauge("guard_ladder_stage").value == 0
+
+
+def test_observer_exception_does_not_break_transition():
+    ladder = make_ladder()
+
+    def bad_observer(frm, to, why):
+        raise RuntimeError("observer bug")
+
+    ladder.on_transition(bad_observer)
+    assert ladder.escalate("p") == STAGE_SHED_SNAPSHOTS
+
+
+def test_suspend_exporters_round_trip_with_circuit_breaker():
+    """The ladder stage wiring the campaign uses: force-open on enter,
+    reset on exit, so recovery re-enables the sink."""
+    breaker = CircuitBreaker()
+    ladder = make_ladder(polls_per_stage=1, recover_polls=1)
+    ladder.on_enter(STAGE_SUSPEND_EXPORTERS, breaker.force_open)
+    ladder.on_exit(STAGE_SUSPEND_EXPORTERS, breaker.reset)
+    for _ in range(3):
+        ladder.note_pressure(["p"])
+    assert ladder.stage == STAGE_SUSPEND_EXPORTERS
+    assert breaker.suspended
+    ladder.note_healthy()
+    assert ladder.stage == STAGE_STRETCH_CADENCE
+    assert not breaker.suspended

@@ -138,3 +138,49 @@ def test_summarize_prometheus(tmp_path):
     text = summarize_metrics(str(path))
     assert "prometheus" in text
     assert "events_total" in text
+
+
+def test_summarize_surfaces_notable_durability_counters(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter(
+        "snapshot_corrupt_skipped_total",
+        help="Corrupt snapshots skipped during restore.",
+    ).inc(3)
+    reg.counter(
+        "guard_fsfaults_injected_total", kind="enospc", op="wal.append"
+    ).inc(2)
+    reg.counter("events_total").inc(100)  # not notable: no note line
+    path = tmp_path / "m.prom"
+    write_prometheus(str(path), reg)
+    text = summarize_metrics(str(path))
+    notes = [line for line in text.splitlines() if "note:" in line]
+    assert any(
+        "3" in n and "snapshot_corrupt_skipped_total" in n for n in notes
+    )
+    assert any(
+        "2" in n and "guard_fsfaults_injected_total" in n for n in notes
+    )
+    assert not any("events_total" in n for n in notes)
+
+
+def test_summarize_no_notes_when_counters_are_zero(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("snapshot_corrupt_skipped_total")
+    reg.counter("events_total").inc(5)
+    path = tmp_path / "m.prom"
+    write_prometheus(str(path), reg)
+    assert "note:" not in summarize_metrics(str(path))
+
+
+def test_jsonl_sink_breaker_suspend_resume(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("n_total").inc()
+    path = tmp_path / "m.jsonl"
+    sink = JsonlSink(str(path), reg, interval_s=0.001)
+    assert sink.maybe_flush(force=True)
+    sink.suspend()
+    assert not sink.maybe_flush(force=True)  # suspended: skipped, not fatal
+    assert sink.suspended_skips == 1
+    sink.resume()
+    assert sink.maybe_flush(force=True)
+    sink.close()
