@@ -1,0 +1,115 @@
+"""SDC — verification-enabled vs fail-stop-only simulation overhead.
+
+Runs the Fig. 7 workload (64-rank LULESH proxy, 200 timesteps, L1
+checkpoints every 40) twice per round under fault injection:
+
+* **fail-stop only** — the seed taxonomy (software/node mix), no
+  verification kernels, no SDC bookkeeping on the hot path,
+* **SDC-aware** — a mixed taxonomy (SDC + stragglers + bursts alongside
+  fail-stop) with ABFT Verify kernels every 10 timesteps and
+  checkpoint-write validation enabled.
+
+The min-of-rounds wall-time ratio must stay within the PR's budget: the
+extended taxonomy prices extra Verify instructions and latent-strike
+bookkeeping, but detection-latency awareness has to be cheap enough to
+leave on for every campaign.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.apps import lulesh_appbeo
+from repro.core import BESSTSimulator, FaultInjector, FaultModel, RecoveryPolicy
+from repro.core.ft import scenario_l1
+from repro.models import ConstantModel
+
+RANKS = 64
+TIMESTEPS = 200
+EPR = 10
+ROUNDS = 3
+VERIFY_PERIOD = 10
+NNODES = 32  # 64 ranks / 2 cores per node on Quartz
+
+#: sdc-aware / fail-stop-only wall time (min of rounds) must stay under this
+OVERHEAD_BOUND = 1.2
+
+FAILSTOP_MODEL = FaultModel(node_mtbf_s=4000.0, software_fraction=0.6)
+MIXED_MODEL = FaultModel(
+    node_mtbf_s=4000.0,
+    kind_weights={
+        "software": 0.3,
+        "node": 0.1,
+        "sdc": 0.4,
+        "straggler": 0.1,
+        "burst": 0.1,
+    },
+    straggler_repair_s=5.0,
+    burst_size=2,
+)
+
+
+def _run(ctx, scenario, model, policy) -> float:
+    arch = ctx.archbeo
+    if "abft_verify" not in arch.models:
+        arch.bind("abft_verify", ConstantModel(1e-4))
+    app = lulesh_appbeo(timesteps=TIMESTEPS, scenario=scenario)
+    sim = BESSTSimulator(
+        app,
+        arch,
+        nranks=RANKS,
+        params={"epr": EPR},
+        seed=0,
+        fault_injector=FaultInjector(model, nnodes=NNODES, seed=7),
+        recovery_policy=policy,
+    )
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    assert res.completed
+    return dt
+
+
+def _run_failstop(ctx) -> float:
+    return _run(
+        ctx,
+        scenario_l1(40),
+        FAILSTOP_MODEL,
+        RecoveryPolicy(verify_fail_prob=0.0),
+    )
+
+
+def _run_sdc_aware(ctx) -> float:
+    return _run(
+        ctx,
+        scenario_l1(40).with_verification(VERIFY_PERIOD),
+        MIXED_MODEL,
+        RecoveryPolicy(verify_fail_prob=0.0, ckpt_validate_prob=0.5),
+    )
+
+
+def test_sdc_overhead_fig7_workload(benchmark, ctx):
+    _run_failstop(ctx)  # warm imports, model LUTs, allocator
+    _run_sdc_aware(ctx)
+
+    failstop = [_run_failstop(ctx) for _ in range(ROUNDS)]
+
+    def one_round():
+        return _run_sdc_aware(ctx)
+
+    benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+    sdc_aware = [_run_sdc_aware(ctx) for _ in range(ROUNDS)]
+
+    # Compare min-of-rounds: the floor is the honest per-event cost,
+    # everything above it is scheduler noise.
+    ratio = min(sdc_aware) / min(failstop)
+    benchmark.extra_info["failstop_s"] = min(failstop)
+    benchmark.extra_info["sdc_aware_s"] = min(sdc_aware)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    emit(
+        benchmark,
+        "sdc-overhead",
+        f"fail-stop only: {min(failstop):.3f}s  sdc-aware: "
+        f"{min(sdc_aware):.3f}s  ratio: {ratio:.3f}x "
+        f"(bound {OVERHEAD_BOUND}x)",
+    )
+    assert ratio <= OVERHEAD_BOUND

@@ -20,6 +20,8 @@ from repro.analytical.youngdaly import (
     daly_interval,
     expected_runtime,
     optimal_expected_runtime,
+    two_error_interval,
+    two_error_waste_fraction,
 )
 from repro.analytical.speedup import (
     amdahl_speedup,
@@ -36,6 +38,8 @@ __all__ = [
     "daly_interval",
     "expected_runtime",
     "optimal_expected_runtime",
+    "two_error_interval",
+    "two_error_waste_fraction",
     "amdahl_speedup",
     "gustafson_speedup",
     "reliability_aware_amdahl",

@@ -116,3 +116,70 @@ def optimal_expected_runtime(
         raise ValueError(f"unknown method {method!r}")
     tau = max(tau, 1e-9)
     return tau, expected_runtime(work, tau, ckpt_cost, mtbf, restart_cost)
+
+
+# -- two error types: fail-stop + silent data corruption -------------------------
+
+
+def two_error_interval(
+    ckpt_cost: float,
+    verify_cost: float,
+    mtbf_failstop: float,
+    mtbf_sdc: float,
+) -> float:
+    """Optimal work interval between verified checkpoints under *two*
+    error processes (Benoit et al.'s two-error-type first-order optimum).
+
+    Each period does ``tau`` work, one verification (cost V) and one
+    checkpoint (cost C).  Fail-stop errors (MTBF ``Mf``) lose half a
+    period on average; silent errors (MTBF ``Ms``) are only caught at
+    the *next* verification, losing a full period.  Minimising
+
+        waste(tau) = (C + V)/tau + tau * (1/(2 Mf) + 1/Ms)
+
+    gives::
+
+        tau* = sqrt( (C + V) / (1/(2 Mf) + 1/Ms) )
+
+    ``math.inf`` for either MTBF drops that error type; with
+    ``Ms = inf`` and ``V = 0`` this reduces exactly to Young's
+    ``sqrt(2 C Mf)``.
+    """
+    _check(ckpt_cost, mtbf_failstop)
+    if verify_cost < 0:
+        raise ValueError(f"verify cost must be >= 0, got {verify_cost}")
+    if mtbf_sdc <= 0:
+        raise ValueError(f"SDC MTBF must be > 0, got {mtbf_sdc}")
+    rate = 0.0
+    if not math.isinf(mtbf_failstop):
+        rate += 1.0 / (2.0 * mtbf_failstop)
+    if not math.isinf(mtbf_sdc):
+        rate += 1.0 / mtbf_sdc
+    if rate <= 0.0:
+        return math.inf  # no failures: never checkpoint
+    return math.sqrt((ckpt_cost + verify_cost) / rate)
+
+
+def two_error_waste_fraction(
+    interval: float,
+    ckpt_cost: float,
+    verify_cost: float,
+    mtbf_failstop: float,
+    mtbf_sdc: float,
+) -> float:
+    """First-order expected waste fraction of the two-error-type model at
+    a given work *interval* (the objective :func:`two_error_interval`
+    minimises)."""
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    _check(ckpt_cost, mtbf_failstop)
+    if verify_cost < 0:
+        raise ValueError(f"verify cost must be >= 0, got {verify_cost}")
+    if mtbf_sdc <= 0:
+        raise ValueError(f"SDC MTBF must be > 0, got {mtbf_sdc}")
+    waste = (ckpt_cost + verify_cost) / interval
+    if not math.isinf(mtbf_failstop):
+        waste += interval / (2.0 * mtbf_failstop)
+    if not math.isinf(mtbf_sdc):
+        waste += interval / mtbf_sdc
+    return waste

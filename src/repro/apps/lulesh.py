@@ -29,6 +29,7 @@ from repro.core.instructions import (
     Exchange,
     Instruction,
     Marker,
+    Verify,
 )
 
 #: double-precision fields checkpointed per element (density, energy,
@@ -196,7 +197,10 @@ def lulesh_appbeo(
     Each timestep executes the instrumented ``lulesh_timestep`` kernel, a
     halo exchange, and the dt allreduce; at checkpoint periods the FT
     scenario's ``fti_l<k>`` checkpoint instructions run (the FT-aware
-    extension to the instruction stream, Fig. 3).
+    extension to the instruction stream, Fig. 3).  With a
+    ``verify_period`` on the scenario, the ABFT checksum-verification
+    kernel runs at its cadence — *before* any same-timestep checkpoint,
+    so a strike caught there never taints the write.
 
     Instruction parameters carry exactly the knobs that affect
     performance: ``epr`` and ``ranks``.
@@ -215,6 +219,10 @@ def lulesh_appbeo(
             if include_halo:
                 body.append(Exchange(nbytes=halo, neighbors=6))
             body.append(Collective("allreduce", nbytes=8))  # dt reduction
+            if scenario.verification_due(ts):
+                body.append(
+                    Verify.of(scenario.VERIFY_KERNEL, epr=epr, ranks=nranks)
+                )
             for level in scenario.checkpoints_due(ts):
                 body.append(Collective("barrier"))  # FTI coordination
                 body.append(

@@ -52,11 +52,35 @@ _EXPERIMENTS: dict[str, tuple[str, str]] = {
     "ext5": ("extension", "simulated level DSE under mixed faults"),
     "ext6": ("extension", "ABFT vs checkpoint-restart for SDC"),
     "ext7": ("extension", "modeling granularity ablation"),
+    "ext8": ("extension", "SDC verification-interval x fault-mix DSE"),
     "abl1": ("ablation", "LUT vs symbolic regression"),
     "abl2": ("ablation", "checkpoint period vs Young/Daly"),
     "abl3": ("ablation", "analytical speedup baselines"),
     "abl4": ("ablation", "sequential vs parallel DES engine"),
 }
+
+
+def _parse_fault_mix(pairs: "list[str]") -> "dict[str, float]":
+    """Parse ``kind=weight`` strings into a fault-mix mapping.
+
+    Weight validation (known kinds, non-negative, sum to 1) is owned by
+    :class:`~repro.core.fault_injection.FaultModel`; here we only enforce
+    the syntax so typos fail with a CLI-flavoured message.
+    """
+    mix: dict[str, float] = {}
+    for pair in pairs:
+        kind, sep, weight = pair.partition("=")
+        if not sep or not kind:
+            raise SystemExit(
+                f"--fault-mix entries must look like kind=weight, got {pair!r}"
+            )
+        try:
+            mix[kind] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"--fault-mix weight for {kind!r} is not a number: {weight!r}"
+            ) from None
+    return mix
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +125,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--timesteps", type=int, default=40, help="workload timesteps"
+    )
+    camp.add_argument(
+        "--fault-mix",
+        nargs="+",
+        default=None,
+        metavar="KIND=W",
+        help=(
+            "fault-taxonomy mix as kind=weight pairs summing to 1 "
+            "(kinds: software node sdc straggler burst), e.g. "
+            "--fault-mix software=0.4 sdc=0.3 straggler=0.2 burst=0.1"
+        ),
+    )
+    camp.add_argument(
+        "--verify-period", type=int, default=0,
+        help="ABFT verification cadence in timesteps (0 disables)",
+    )
+    camp.add_argument(
+        "--verify-cost", type=float, default=0.01,
+        help="modeled cost of one ABFT verification kernel (seconds)",
+    )
+    camp.add_argument(
+        "--sdc-coverage", type=float, default=0.95,
+        help="probability an SDC strike is ABFT-detectable",
+    )
+    camp.add_argument(
+        "--sdc-correct-prob", type=float, default=0.5,
+        help="probability a detected strike is correctable in place",
+    )
+    camp.add_argument(
+        "--straggler-slowdown", type=float, default=2.0,
+        help="compute-clock slowdown factor of a degraded node",
+    )
+    camp.add_argument(
+        "--straggler-repair", type=float, default=5.0,
+        help="seconds until a degraded node is repaired (<= 0: never)",
+    )
+    camp.add_argument(
+        "--burst-size", type=int, default=2,
+        help="nodes felled per correlated failure burst",
     )
     camp.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = in-process)"
@@ -339,6 +402,10 @@ def _run_experiment(name: str, seed: int, reps: int) -> str:
         from repro.exps.extensions import format_ext7, granularity_ablation
 
         return format_ext7(granularity_ablation(reps=reps, seed=seed))
+    if name == "ext8":
+        from repro.exps.extensions import format_ext8, sdc_verification_dse
+
+        return format_ext8(sdc_verification_dse(reps=reps, seed=seed))
     if name == "abl1":
         from repro.exps.ablations import format_abl1, modeling_method_ablation
         from repro.exps.casestudy import get_context
@@ -503,8 +570,20 @@ def _run_campaign(args) -> tuple[str, int]:
             guard=guard,
             **snapshot_kwargs,
         )
+    spec_kwargs = dict(
+        timesteps=args.timesteps,
+        verify_period=args.verify_period,
+        verify_cost_s=args.verify_cost,
+        sdc_coverage=args.sdc_coverage,
+        sdc_correct_prob=args.sdc_correct_prob,
+        straggler_slowdown=args.straggler_slowdown,
+        straggler_repair_s=args.straggler_repair,
+        burst_size=args.burst_size,
+    )
+    if args.fault_mix:
+        spec_kwargs["fault_mix"] = _parse_fault_mix(args.fault_mix)
     try:
-        report = camp.run_grid(args.mtbf, args.periods, timesteps=args.timesteps)
+        report = camp.run_grid(args.mtbf, args.periods, **spec_kwargs)
     finally:
         camp.close()
         if host_shim_installed:

@@ -28,6 +28,7 @@ from repro.core.instructions import (
     Instruction,
     Compute,
     Checkpoint,
+    Verify,
     Collective,
     Exchange,
     Marker,
@@ -37,6 +38,9 @@ from repro.core.beo import AppBEO, ArchBEO
 from repro.core.simulator import BESSTSimulator, SimulationResult, RankTimeline
 from repro.core.ft import FTScenario, NO_FT, scenario_l1, scenario_l1_l2
 from repro.core.fault_injection import (
+    FAULT_KINDS,
+    FaultDetail,
+    FaultEvent,
     FaultInjector,
     FaultModel,
     FaultEventLog,
@@ -62,6 +66,7 @@ __all__ = [
     "Instruction",
     "Compute",
     "Checkpoint",
+    "Verify",
     "Collective",
     "Exchange",
     "Marker",
@@ -75,6 +80,9 @@ __all__ = [
     "NO_FT",
     "scenario_l1",
     "scenario_l1_l2",
+    "FAULT_KINDS",
+    "FaultDetail",
+    "FaultEvent",
     "FaultInjector",
     "FaultModel",
     "FaultEventLog",

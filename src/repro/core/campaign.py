@@ -37,14 +37,14 @@ import json
 import os
 import shutil
 from dataclasses import asdict, dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.analytical.youngdaly import expected_waste
 from repro.core.beo import AppBEO, ArchBEO
 from repro.core.fault_injection import FaultInjector, FaultModel, RecoveryPolicy
-from repro.core.instructions import Checkpoint, Collective, Compute
+from repro.core.instructions import Checkpoint, Collective, Compute, Verify
 from repro.core.montecarlo import MonteCarloRunner, derive_seeds
 from repro.core.simulator import BESSTSimulator
 from repro.core.supervisor import (
@@ -74,6 +74,17 @@ class CampaignSpec:
     allreduce_bytes: int = 8
     recovery_time_s: float = 0.2    #: failure detection + restore downtime
     software_fraction: float = 1.0  #: share of transient (vs node-loss) faults
+    #: full fault-taxonomy mix as sorted ``(kind, weight)`` pairs (kept a
+    #: tuple so the spec stays frozen/hashable; pass a dict, it is
+    #: normalised).  Empty = the two-kind ``software_fraction`` mix.
+    fault_mix: tuple = ()
+    verify_period: int = 0          #: ABFT verification cadence (0 = off)
+    verify_cost_s: float = 0.01     #: modeled verification-kernel cost
+    sdc_coverage: float = 0.95      #: P(SDC strike is ABFT-detectable)
+    sdc_correct_prob: float = 0.5   #: P(detected strike fixable in place)
+    straggler_slowdown: float = 2.0
+    straggler_repair_s: float = 5.0
+    burst_size: int = 2             #: nodes felled per correlated burst
 
     def __post_init__(self) -> None:
         if self.node_mtbf_s <= 0:
@@ -82,6 +93,38 @@ class CampaignSpec:
             raise ValueError(f"ckpt_period must be >= 1, got {self.ckpt_period}")
         if self.timesteps < 1:
             raise ValueError(f"timesteps must be >= 1, got {self.timesteps}")
+        if self.verify_period < 0:
+            raise ValueError(
+                f"verify_period must be >= 0, got {self.verify_period}"
+            )
+        if isinstance(self.fault_mix, Mapping):
+            object.__setattr__(
+                self,
+                "fault_mix",
+                tuple(sorted((str(k), float(v)) for k, v in self.fault_mix.items())),
+            )
+        else:
+            object.__setattr__(
+                self,
+                "fault_mix",
+                tuple(sorted((str(k), float(v)) for k, v in self.fault_mix)),
+            )
+        # Fail fast on an invalid mix / taxonomy parameters: a bad spec
+        # should be rejected here, not quarantine every replica later.
+        self.fault_model()
+
+    def fault_model(self) -> FaultModel:
+        """The (validated) failure process of this grid point."""
+        return FaultModel(
+            node_mtbf_s=self.node_mtbf_s,
+            software_fraction=self.software_fraction,
+            kind_weights=dict(self.fault_mix) if self.fault_mix else None,
+            sdc_coverage=self.sdc_coverage,
+            sdc_correct_prob=self.sdc_correct_prob,
+            straggler_slowdown=self.straggler_slowdown,
+            straggler_repair_s=self.straggler_repair_s,
+            burst_size=self.burst_size,
+        )
 
     @property
     def work_s(self) -> float:
@@ -114,6 +157,10 @@ class CampaignWorkload:
         body = []
         for ts in range(1, spec.timesteps + 1):
             body.append(Compute.of("work"))
+            # Verification precedes any same-timestep checkpoint, so a
+            # strike caught here never taints the written version.
+            if spec.verify_period > 0 and ts % spec.verify_period == 0:
+                body.append(Verify.of("verify"))
             if ts % spec.ckpt_period == 0:
                 body.append(Checkpoint.of(spec.level, "ckpt"))
             body.append(Collective("allreduce", nbytes=spec.allreduce_bytes))
@@ -141,14 +188,12 @@ def build_campaign_simulator(
     )
     arch.bind("work", ConstantModel(spec.compute_s))
     arch.bind("ckpt", ConstantModel(spec.ckpt_cost_s))
+    arch.bind("verify", ConstantModel(spec.verify_cost_s))
     arch.recovery_time_s = spec.recovery_time_s
     injector = None
     if inject:
         injector = FaultInjector(
-            FaultModel(
-                node_mtbf_s=spec.node_mtbf_s,
-                software_fraction=spec.software_fraction,
-            ),
+            spec.fault_model(),
             nnodes=spec.nnodes,
             seed=seed + 777,
         )
@@ -185,6 +230,9 @@ _REPLICA_KEYS = frozenset(
         "waste_requeue",
         "checkpoint_time",
         "fault_log",
+        "fault_kinds",
+        "sdc",
+        "wrong_result",
     }
 )
 
@@ -271,7 +319,16 @@ def _run_replica(payload: tuple) -> dict:
         "waste_downtime": res.waste_downtime,
         "waste_requeue": res.waste_requeue,
         "checkpoint_time": res.checkpoint_time,
-        "fault_log": [list(e) for e in sim.fault_injector.log.entries],
+        "fault_log": sim.fault_injector.log.to_rows(),
+        "fault_kinds": sim.fault_injector.log.kind_counts(),
+        "sdc": {
+            "injected": res.sdc_injected,
+            "detected": res.sdc_detected,
+            "corrected": res.sdc_corrected,
+            "undetected": res.sdc_undetected,
+            "detect_latency_s": res.sdc_detect_latency_s,
+        },
+        "wrong_result": res.wrong_result,
         # Extra key (not in _REPLICA_KEYS): feeds the heartbeat's
         # events/sec; aggregation ignores it, so reports are unchanged.
         "events_fired": res.events_fired,
@@ -392,6 +449,9 @@ class CampaignPointReport:
     mean_requeues: float
     waste: dict                          #: rework/downtime/checkpoint/requeue means
     youngdaly: dict                      #: analytical cross-check
+    fault_kinds: dict = field(default_factory=dict)  #: kind -> injected, summed
+    sdc: dict = field(default_factory=dict)  #: injected/detected/corrected/undetected sums
+    wrong_results: int = 0               #: completed replicas carrying undetected SDC
     replicas: list = field(default_factory=list, repr=False)
 
     @property
@@ -414,6 +474,9 @@ class CampaignPointReport:
             "mean_requeues": self.mean_requeues,
             "waste": self.waste,
             "youngdaly": self.youngdaly,
+            "fault_kinds": self.fault_kinds,
+            "sdc": self.sdc,
+            "wrong_results": self.wrong_results,
         }
         return d
 
@@ -532,6 +595,25 @@ def aggregate_point(
         "checkpoint": mean("checkpoint_time"),
         "requeue": mean("waste_requeue"),
     }
+    # Per-kind and SDC-outcome totals across every available replica.
+    # Older journals predate these keys; .get keeps resume compatible.
+    fault_kinds: dict[str, int] = {}
+    sdc_totals = {
+        "injected": 0,
+        "detected": 0,
+        "corrected": 0,
+        "undetected": 0,
+        "detect_latency_s": 0.0,
+    }
+    wrong_results = 0
+    for r in replicas:
+        for kind, n in r.get("fault_kinds", {}).items():
+            fault_kinds[kind] = fault_kinds.get(kind, 0) + int(n)
+        for key, v in r.get("sdc", {}).items():
+            if key in sdc_totals:
+                sdc_totals[key] += v
+        if r.get("wrong_result"):
+            wrong_results += 1
     return CampaignPointReport(
         spec=spec,
         reps=reps,
@@ -547,6 +629,9 @@ def aggregate_point(
         mean_requeues=mean("requeues"),
         waste=waste,
         youngdaly=_youngdaly_check(spec, replicas),
+        fault_kinds=dict(sorted(fault_kinds.items())),
+        sdc=sdc_totals,
+        wrong_results=wrong_results,
         replicas=replicas,
     )
 

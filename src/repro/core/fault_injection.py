@@ -7,21 +7,68 @@ the simulator rolls every rank back to its last completed checkpoint
 (Case 4); without checkpoints the application restarts from the beginning
 (Case 2).
 
+The fault *taxonomy* goes beyond fail-stop.  :class:`FaultModel` draws
+one of five kinds from a validated kind-weight mapping:
+
+* ``"software"`` — transient process crash; node storage intact,
+* ``"node"`` — fail-stop node loss; node-local checkpoint data gone,
+* ``"sdc"`` — silent data corruption: a *latent* flag armed on a victim
+  rank, observed only at the next detection point (an ABFT
+  :class:`~repro.core.instructions.Verify` kernel or checkpoint-write
+  validation), after which recovery must reach back past the last
+  *clean* checkpoint,
+* ``"straggler"`` — a degraded node: a persistent slowdown factor on the
+  victim's compute clock until repair,
+* ``"burst"`` — a spatially correlated failure: one draw fells a whole
+  topology neighborhood of nodes at once.
+
 :class:`RecoveryPolicy` configures the simulator's fault-lifecycle
 realism: read-back verification failures (checkpoint corruption / SDC),
 the L1→L2→L4→full-restart escalation ladder with bounded retries and
-per-attempt backoff, and the abort/requeue path with its spare-node pool.
+per-attempt backoff, checkpoint-write validation for latent SDC, and the
+abort/requeue path with its spare-node pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analytical.sparenodes import SpareNodeModel
+    from repro.network.topology import Topology
+
+#: every fault kind the taxonomy knows, in canonical draw order (the
+#: order fixes the cumulative-weight walk, keeping draws deterministic
+#: under any input ordering of the mapping)
+FAULT_KINDS = ("software", "node", "sdc", "straggler", "burst")
+
+
+@dataclass(frozen=True)
+class FaultDetail:
+    """Per-fault parameters drawn at injection time.
+
+    Carried alongside the kind so the simulator never re-draws: replays
+    and SIGKILL-resumes see bit-identical fault streams.
+
+    * ``victims`` — every node felled by a ``burst`` (includes the seed
+      node); empty for single-node kinds.
+    * ``slowdown`` / ``repair_s`` — a ``straggler``'s clock-rate factor
+      and time until the node is repaired (``repair_s <= 0`` = never).
+    * ``covered`` — an ``sdc`` strike landed inside ABFT-protected
+      operations (detectable at the next Verify point); uncovered
+      strikes are invisible to every detector.
+    * ``correctable`` — a covered strike within ABFT's single-element
+      correction capability (fixed in place, no rollback needed).
+    """
+
+    victims: tuple[int, ...] = ()
+    slowdown: float = 1.0
+    repair_s: float = 0.0
+    covered: bool = True
+    correctable: bool = True
 
 
 @dataclass(frozen=True)
@@ -38,16 +85,36 @@ class FaultModel:
         Weibull shape k; < 1 models infant-mortality-dominated behaviour
         typical of HPC failure logs.
     software_fraction:
-        Share of failures that are software/transient (process crash with
-        node storage intact) rather than node losses.  Any checkpoint
-        level recovers a software failure; node failures need a level
-        whose protection domain covers node loss (L2+).
+        Backward-compatible alias for the two-kind mix: when
+        ``kind_weights`` is omitted, failures are ``software`` with this
+        probability and ``node`` otherwise.
+    kind_weights:
+        Full taxonomy mix: kind name -> weight.  Weights must be
+        non-negative, cover only known kinds (:data:`FAULT_KINDS`) and
+        sum to 1 (within 1e-6).  Overrides ``software_fraction``.
+    sdc_coverage:
+        Probability an SDC strike lands inside ABFT-protected operations
+        (drawn once at injection; uncovered strikes evade detection).
+    sdc_correct_prob:
+        Probability a covered strike is within ABFT's correction
+        capability (single corrupted element).
+    straggler_slowdown / straggler_repair_s:
+        A straggler's compute-clock factor and repair delay
+        (``<= 0`` repair = degraded until job end).
+    burst_size:
+        Nodes felled per correlated burst (capped at the live count).
     """
 
     node_mtbf_s: float
     distribution: str = "exponential"
     weibull_shape: float = 0.7
     software_fraction: float = 0.6
+    kind_weights: Optional[Mapping[str, float]] = None
+    sdc_coverage: float = 0.95
+    sdc_correct_prob: float = 0.5
+    straggler_slowdown: float = 2.0
+    straggler_repair_s: float = 30.0
+    burst_size: int = 3
 
     def __post_init__(self) -> None:
         if self.node_mtbf_s <= 0:
@@ -60,10 +127,116 @@ class FaultModel:
             raise ValueError(
                 f"software_fraction must be in [0,1], got {self.software_fraction}"
             )
+        if not 0.0 <= self.sdc_coverage <= 1.0:
+            raise ValueError(
+                f"sdc_coverage must be in [0,1], got {self.sdc_coverage}"
+            )
+        if not 0.0 <= self.sdc_correct_prob <= 1.0:
+            raise ValueError(
+                f"sdc_correct_prob must be in [0,1], got {self.sdc_correct_prob}"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise ValueError(
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
+            )
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {self.burst_size}")
+        # Freeze the validated, canonically-ordered weight table once.
+        object.__setattr__(
+            self, "_weights", self._validated_weights(self.kind_weights)
+        )
+
+    def _validated_weights(
+        self, weights: Optional[Mapping[str, float]]
+    ) -> tuple[tuple[str, float], ...]:
+        if weights is None:
+            weights = {
+                "software": self.software_fraction,
+                "node": 1.0 - self.software_fraction,
+            }
+        unknown = sorted(set(weights) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {unknown}; expected a subset of "
+                f"{list(FAULT_KINDS)}"
+            )
+        for kind, w in weights.items():
+            if w < 0:
+                raise ValueError(f"kind_weights[{kind!r}] must be >= 0, got {w}")
+        total = sum(weights.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"kind_weights must sum to 1, got {total} from {dict(weights)}"
+            )
+        return tuple(
+            (kind, float(weights[kind]))
+            for kind in FAULT_KINDS
+            if weights.get(kind, 0.0) > 0.0
+        )
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """The validated kind-weight mapping actually used for draws."""
+        return dict(self._weights)
 
     def draw_kind(self, rng: np.random.Generator) -> str:
-        """``"software"`` or ``"node"``."""
-        return "software" if rng.random() < self.software_fraction else "node"
+        """One fault kind, drawn from the validated weight mapping."""
+        u = rng.random()
+        acc = 0.0
+        for kind, w in self._weights:
+            acc += w
+            if u < acc:
+                return kind
+        return self._weights[-1][0]  # guard against float round-off
+
+    def draw_detail(
+        self,
+        rng: np.random.Generator,
+        kind: str,
+        node: int,
+        live: list[int],
+        topology: Optional["Topology"] = None,
+    ) -> FaultDetail:
+        """Kind-specific fault parameters, drawn deterministically."""
+        if kind == "sdc":
+            return FaultDetail(
+                covered=bool(rng.random() < self.sdc_coverage),
+                correctable=bool(rng.random() < self.sdc_correct_prob),
+            )
+        if kind == "straggler":
+            return FaultDetail(
+                slowdown=self.straggler_slowdown,
+                repair_s=self.straggler_repair_s,
+            )
+        if kind == "burst":
+            return FaultDetail(victims=self.burst_victims(node, live, topology))
+        return FaultDetail()
+
+    def burst_victims(
+        self,
+        node: int,
+        live: list[int],
+        topology: Optional["Topology"] = None,
+    ) -> tuple[int, ...]:
+        """The neighborhood felled by a burst seeded at *node*.
+
+        Victims are the ``burst_size`` live nodes nearest the seed —
+        topology hop count when a topology covering the node range is
+        available, node-index distance otherwise (adjacent indices model
+        rack/chassis adjacency).  Ties break on node id, so the set is a
+        pure function of (seed node, live set).
+        """
+        use_topo = topology is not None and all(
+            n < topology.num_nodes for n in live
+        )
+
+        def distance(n: int) -> int:
+            if n == node:
+                return 0
+            return topology.hop_count(node, n) if use_topo else abs(n - node)
+
+        ranked = sorted(live, key=lambda n: (distance(n), n))
+        return tuple(sorted(ranked[: self.burst_size]))
 
     def system_mtbf(self, nnodes: int) -> float:
         """MTBF of an *nnodes* system (failures superpose)."""
@@ -116,6 +289,12 @@ class RecoveryPolicy:
         spare (paying ``spare_swap_s``); once the pool is exhausted the
         requeue degrades gracefully to a full node rebuild stall of
         ``spare_rebuild_s`` instead of failing.
+    ckpt_validate_prob:
+        Probability one checkpoint *write* validates its data against a
+        stored checksum (FTI hash-on-write).  Validation is a secondary
+        SDC detection point: a covered latent corruption caught here is
+        detected at the write instead of waiting for the next ABFT
+        Verify kernel.  0 (the default) disables write validation.
     """
 
     verify_fail_prob: float = 0.05
@@ -128,11 +307,16 @@ class RecoveryPolicy:
     n_spares: int = 2
     spare_swap_s: float = 5.0
     spare_rebuild_s: float = 120.0
+    ckpt_validate_prob: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.verify_fail_prob < 1.0:
             raise ValueError(
                 f"verify_fail_prob must be in [0,1), got {self.verify_fail_prob}"
+            )
+        if not 0.0 <= self.ckpt_validate_prob <= 1.0:
+            raise ValueError(
+                f"ckpt_validate_prob must be in [0,1], got {self.ckpt_validate_prob}"
             )
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
@@ -179,22 +363,83 @@ class RecoveryPolicy:
 
 
 @dataclass
+class FaultEvent:
+    """One injected fault, with its kind metadata and detection outcome.
+
+    ``victims`` is the full felled set for bursts; ``slowdown`` the
+    straggler clock factor; ``detected_time``/``outcome`` are filled in
+    by the simulator when (if) the fault is observed — SDC outcomes are
+    ``"corrected"``, ``"rolled_back"`` or ``"undetected"``.
+    """
+
+    time: float
+    node: int
+    kind: str
+    victims: tuple[int, ...] = ()
+    slowdown: float = 1.0
+    detected_time: Optional[float] = None
+    outcome: str = ""
+
+    @property
+    def detection_latency_s(self) -> Optional[float]:
+        if self.detected_time is None:
+            return None
+        return self.detected_time - self.time
+
+    def to_list(self) -> list:
+        """JSON-friendly row (stable field order, journal/report safe)."""
+        return [
+            self.time,
+            self.node,
+            self.kind,
+            list(self.victims),
+            self.slowdown,
+            self.detected_time,
+            self.outcome,
+        ]
+
+
+@dataclass
 class FaultEventLog:
     """Chronological record of injected failures."""
 
-    entries: list[tuple[float, int, str]] = field(default_factory=list)
+    entries: list[FaultEvent] = field(default_factory=list)
 
-    def add(self, time: float, node: int, kind: str = "node") -> None:
-        self.entries.append((time, node, kind))
+    def add(
+        self,
+        time: float,
+        node: int,
+        kind: str = "node",
+        detail: Optional[FaultDetail] = None,
+    ) -> FaultEvent:
+        event = FaultEvent(
+            time,
+            node,
+            kind,
+            victims=detail.victims if detail is not None else (),
+            slowdown=detail.slowdown if detail is not None else 1.0,
+        )
+        self.entries.append(event)
+        return event
 
     def count(self) -> int:
         return len(self.entries)
 
     def times(self) -> list[float]:
-        return [t for t, _, _ in self.entries]
+        return [e.time for e in self.entries]
 
     def count_kind(self, kind: str) -> int:
-        return sum(1 for _, _, k in self.entries if k == kind)
+        return sum(1 for e in self.entries if e.kind == kind)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Kind -> injected count, sorted by kind name."""
+        counts: dict[str, int] = {}
+        for e in self.entries:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_rows(self) -> list[list]:
+        return [e.to_list() for e in self.entries]
 
 
 class FaultInjector:
@@ -210,6 +455,9 @@ class FaultInjector:
         Private RNG seed (independent of the simulator's model noise).
     max_faults:
         Safety bound; injection stops after this many failures.
+    topology:
+        Optional network topology used to resolve correlated-burst
+        neighborhoods (node-index distance when omitted).
     """
 
     def __init__(
@@ -218,6 +466,7 @@ class FaultInjector:
         nnodes: int,
         seed: int = 12345,
         max_faults: int = 10_000,
+        topology: Optional["Topology"] = None,
     ) -> None:
         if nnodes < 1:
             raise ValueError(f"nnodes must be >= 1, got {nnodes}")
@@ -226,11 +475,12 @@ class FaultInjector:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.max_faults = max_faults
+        self.topology = topology
         self.log = FaultEventLog()
         self.sim = None
         self._pending = None
-        #: nodes lost to "node"-kind failures and not yet replaced;
-        #: failure draws only ever hit live nodes.
+        #: nodes lost to "node"/"burst"-kind failures and not yet
+        #: replaced; failure draws only ever hit live nodes.
         self.failed_nodes: set[int] = set()
 
     # -- simulator binding --------------------------------------------------------
@@ -290,10 +540,13 @@ class FaultInjector:
             return
         node = int(live[int(self.rng.integers(0, len(live)))])
         kind = self.model.draw_kind(self.rng)
+        detail = self.model.draw_detail(self.rng, kind, node, live, self.topology)
         if kind == "node":
             self.failed_nodes.add(node)
-        self.log.add(self.sim.engine.now, node, kind)
+        elif kind == "burst":
+            self.failed_nodes.update(detail.victims)
+        event = self.log.add(self.sim.engine.now, node, kind, detail)
         sim = self.sim
-        sim.inject_fault(node, kind)
+        sim.inject_fault(node, kind, detail=detail, event=event)
         if self.sim is not None:  # the fault may abort the job and detach us
             self._schedule_next()

@@ -22,10 +22,17 @@ class FTScenario:
     levels:
         ``(level, period_in_timesteps)`` pairs; at timestep t every level
         with ``t % period == 0`` takes a checkpoint.
+    verify_period:
+        ABFT verification cadence in timesteps: every ``verify_period``
+        timesteps the application runs its checksum-verification kernel
+        (the SDC detection point).  0 (default) disables verification —
+        latent corruption is only ever caught by checkpoint-write
+        validation, if enabled.
     """
 
     name: str
     levels: tuple[tuple[int, int], ...] = ()
+    verify_period: int = 0
 
     def __post_init__(self) -> None:
         for level, period in self.levels:
@@ -33,6 +40,10 @@ class FTScenario:
                 raise ValueError(f"invalid checkpoint level {level}")
             if period < 1:
                 raise ValueError(f"invalid checkpoint period {period}")
+        if self.verify_period < 0:
+            raise ValueError(
+                f"verify_period must be >= 0, got {self.verify_period}"
+            )
 
     @property
     def is_ft_aware(self) -> bool:
@@ -43,6 +54,17 @@ class FTScenario:
         if timestep < 1:
             raise ValueError(f"timestep must be >= 1, got {timestep}")
         return [lvl for lvl, period in self.levels if timestep % period == 0]
+
+    def verification_due(self, timestep: int) -> bool:
+        """Whether the ABFT verify kernel runs at 1-based *timestep*."""
+        if timestep < 1:
+            raise ValueError(f"timestep must be >= 1, got {timestep}")
+        return self.verify_period > 0 and timestep % self.verify_period == 0
+
+    def verification_count(self, total_timesteps: int) -> int:
+        if self.verify_period <= 0:
+            return 0
+        return total_timesteps // self.verify_period
 
     def checkpoint_count(self, total_timesteps: int, level: int) -> int:
         """How many instances of *level* occur in a run of
@@ -55,6 +77,13 @@ class FTScenario:
     def kernel_for(self, level: int) -> str:
         """Name of the performance model for a level's checkpoint kernel."""
         return f"fti_l{level}"
+
+    #: name of the ABFT verification kernel's performance model
+    VERIFY_KERNEL = "abft_verify"
+
+    def with_verification(self, verify_period: int) -> "FTScenario":
+        """This scenario plus a verification cadence (new instance)."""
+        return FTScenario(self.name, self.levels, verify_period)
 
 
 #: the non-FT-aware baseline (Scenario 1 / traditional BE-SST workflow)

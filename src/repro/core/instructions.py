@@ -67,6 +67,29 @@ class Checkpoint(Instruction):
 
 
 @dataclass(frozen=True)
+class Verify(Instruction):
+    """A modeled ABFT verification point (the SDC-awareness instruction).
+
+    Running a Verify executes a checksum-verification kernel (priced via
+    ``kernel``, e.g. ``"abft_verify"``) and gives the simulator a
+    *detection point*: latent silent data corruption that landed inside
+    ABFT-protected operations is observed here — corrected in place when
+    within the scheme's correction capability, otherwise forcing a
+    rollback past the last clean checkpoint.
+    """
+
+    kernel: str
+    params: tuple = ()
+
+    @staticmethod
+    def of(kernel: str, **params: float) -> "Verify":
+        return Verify(kernel, tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
 class Collective(Instruction):
     """A synchronizing collective over all ranks.
 

@@ -29,6 +29,25 @@ A fault that lands while a rank is *inside* a ``Checkpoint`` instruction
 tears that in-progress instance (it never becomes a restart point), and —
 with in-place L1 writes — destroys the previous committed L1 copy on the
 failed node, pushing recovery one checkpoint further back.
+
+Beyond fail-stop, the simulator handles three more fault kinds
+end-to-end:
+
+* ``"sdc"`` — silent data corruption arms a *latent* flag on the victim
+  rank.  Nothing happens until a detection point: an ABFT ``Verify``
+  instruction commits (primary detector) or a checkpoint write validates
+  its data (``RecoveryPolicy.ckpt_validate_prob``).  Checkpoints written
+  by a flagged rank are *corrupt*: detection-triggered recovery skips
+  them and rolls back past the last clean checkpoint.  Covered,
+  correctable strikes are fixed in place at the detection point;
+  uncovered strikes evade detection entirely and — if they survive to
+  the end of the run — turn the result into a *wrong result*
+  (``SimulationResult.wrong_result``).
+* ``"straggler"`` — the victim node's compute clock runs slower by the
+  drawn factor until the repair event fires (batch granularity: an
+  already-priced batch keeps its price).
+* ``"burst"`` — a correlated failure: every node in the drawn
+  neighborhood fails at once (fail-stop semantics, L2+ recovery).
 """
 
 from __future__ import annotations
@@ -39,7 +58,12 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.beo import AppBEO, ArchBEO
-from repro.core.fault_injection import RecoveryPolicy
+from repro.core.fault_injection import (
+    FAULT_KINDS,
+    FaultDetail,
+    FaultEvent,
+    RecoveryPolicy,
+)
 from repro.core.instructions import (
     Checkpoint,
     Collective,
@@ -47,6 +71,7 @@ from repro.core.instructions import (
     Exchange,
     Instruction,
     Marker,
+    Verify,
 )
 from repro.des.component import Component
 from repro.des.engine import Engine
@@ -60,7 +85,7 @@ class TimelineEntry:
 
     t_start: float
     t_end: float
-    kind: str           #: "compute" | "checkpoint" | "collective" | "exchange" | "marker" | "rollback"
+    kind: str           #: "compute" | "checkpoint" | "verify" | "collective" | "exchange" | "marker" | "rollback"
     label: str
     level: int = 0      #: checkpoint level when kind == "checkpoint"
 
@@ -117,12 +142,26 @@ class SimulationResult:
     waste_rework: float = 0.0       #: lost forward progress (recomputation)
     waste_downtime: float = 0.0     #: detection + restore + retry delays
     waste_requeue: float = 0.0      #: resubmission + spare-swap/rebuild stalls
+    verify_time: float = 0.0        #: rank-0 time inside ABFT Verify kernels
+    faults_by_kind: dict = field(default_factory=dict)  #: kind -> injected count
+    sdc_injected: int = 0           #: SDC strikes armed
+    sdc_detected: int = 0           #: strikes observed at a detection point
+    sdc_corrected: int = 0          #: detected strikes fixed in place (ABFT)
+    sdc_undetected: int = 0         #: strikes still latent at the end of the run
+    wrong_result: bool = False      #: job "completed" but carries undetected SDC
+    sdc_detect_latency_s: float = 0.0  #: summed injection→detection latency
 
     @property
     def ft_overhead_fraction(self) -> float:
-        """Share of rank-0 busy time spent checkpointing."""
-        busy = self.compute_time + self.collective_time + self.checkpoint_time
-        return self.checkpoint_time / busy if busy > 0 else 0.0
+        """Share of rank-0 busy time spent on FT work (checkpoint+verify)."""
+        busy = (
+            self.compute_time
+            + self.collective_time
+            + self.checkpoint_time
+            + self.verify_time
+        )
+        ft = self.checkpoint_time + self.verify_time
+        return ft / busy if busy > 0 else 0.0
 
     def checkpoint_marks(self) -> list[tuple[float, int]]:
         tl = self.timelines.get(0)
@@ -246,14 +285,16 @@ class _Rank(Component):
         """
         t_off = 0.0
         batch = []
+        # Straggler degradation: local (clocked) work on a degraded node
+        # runs slower by the node's slowdown factor.  Exchanges are
+        # network-bound and keep their modeled time.  The factor is read
+        # once per batch — an already-priced batch keeps its price even
+        # if a repair lands mid-flight (batch granularity).
+        slow = self.sim._slowdown_for_rank(self.rank)
         while self.pc < len(self.program):
             instr = self.program[self.pc]
-            if isinstance(instr, Compute):
-                dt = self.sim.archbeo.predict(
-                    instr.kernel, instr.param_dict(), self._model_rng()
-                )
-            elif isinstance(instr, Checkpoint):
-                dt = self.sim.archbeo.predict(
+            if isinstance(instr, (Compute, Checkpoint, Verify)):
+                dt = slow * self.sim.archbeo.predict(
                     instr.kernel, instr.param_dict(), self._model_rng()
                 )
             elif isinstance(instr, Exchange):
@@ -279,6 +320,8 @@ class _Rank(Component):
                     if isinstance(instr, Compute)
                     else "checkpoint"
                     if isinstance(instr, Checkpoint)
+                    else "verify"
+                    if isinstance(instr, Verify)
                     else "exchange"
                     if isinstance(instr, Exchange)
                     else "marker"
@@ -308,6 +351,14 @@ class _Rank(Component):
                 stale = self.ckpt_seq - 6
                 if stale > 0:
                     self.restart_history.pop(stale, None)
+                if self.sim._on_checkpoint_commit(self, self.ckpt_seq):
+                    # Write-validation caught latent SDC: recovery has
+                    # paused every rank and the rest of the batch is
+                    # discarded by the rollback — do not advance.
+                    return
+            elif isinstance(instr, Verify):
+                if self.sim._on_verify_point(self):
+                    return  # detection started a recovery episode
         self.advance()
 
     def _model_rng(self) -> Optional[np.random.Generator]:
@@ -385,10 +436,15 @@ class _RecoveryEpisode:
     rung: int = 0                  #: escalation-ladder index
     rework_credited: float = 0.0   #: lost progress already charged to waste
     requeued: bool = False         #: waiting out a resubmission delay
+    #: detection-triggered SDC recovery: the ladder must skip checkpoints
+    #: written while the corruption was latent (sticky across nested-fault
+    #: kind merging — the corrupt data does not get cleaner because a
+    #: node also died)
+    avoid_corrupt: bool = False
 
 
 #: fault-kind severity ordering for nested-fault merging
-_KIND_SEVERITY = {"software": 0, "node": 1}
+_KIND_SEVERITY = {"software": 0, "sdc": 1, "node": 2, "burst": 3}
 
 
 class BESSTSimulator:
@@ -473,6 +529,21 @@ class BESSTSimulator:
         self.waste_rework = 0.0
         self.waste_downtime = 0.0
         self.waste_requeue = 0.0
+        # SDC / straggler state
+        self._sdc_rng = self.engine.rngs.get("__sdc__")
+        #: rank -> latent strikes: {"armed", "covered", "correctable", "event"}
+        self._sdc_latent: dict[int, list[dict]] = {}
+        #: globally committed checkpoint seqs written while corruption was latent
+        self._corrupt_seqs: set[int] = set()
+        #: node -> compute-clock slowdown factor (stragglers)
+        self._node_slowdown: dict[int, float] = {}
+        #: node -> generation token guarding stale straggler-repair events
+        self._straggler_token: dict[int, int] = {}
+        self.faults_by_kind: dict[str, int] = {}
+        self.sdc_injected = 0
+        self.sdc_detected = 0
+        self.sdc_corrected = 0
+        self.sdc_detect_latency_s = 0.0
 
         program0 = self.appbeo.build(0, nranks, self.params)
         for r in range(nranks):
@@ -491,8 +562,10 @@ class BESSTSimulator:
 
     #: minimum checkpoint level whose protection domain covers each fault
     #: kind: software/transient crashes leave node storage intact (any
-    #: level), node losses need partner/RS/PFS protection (Table I)
-    MIN_LEVEL_FOR_KIND = {"software": 1, "node": 2}
+    #: level), node losses and correlated bursts need partner/RS/PFS
+    #: protection (Table I); detected SDC restores from any level — the
+    #: data on disk is intact, it just has to be a *clean* version
+    MIN_LEVEL_FOR_KIND = {"software": 1, "sdc": 1, "node": 2, "burst": 2}
 
     @property
     def wasted_time(self) -> float:
@@ -512,33 +585,66 @@ class BESSTSimulator:
 
     # -- fault lifecycle ---------------------------------------------------------------
 
-    def inject_fault(self, node: int, kind: str = "software") -> None:
+    def inject_fault(
+        self,
+        node: int,
+        kind: str = "software",
+        detail: Optional[FaultDetail] = None,
+        event: Optional[FaultEvent] = None,
+    ) -> None:
         """Coordinated, level-aware, lifecycle-realistic failure handling.
 
-        Starts (or re-enters, for nested faults) a recovery episode:
-        every rank rolls back to the newest *globally committed*
-        checkpoint whose level covers the fault *kind* and whose data
-        survived torn writes — or to the very beginning when no surviving
-        checkpoint does.  Each attempt pays the ArchBEO downtime plus one
-        read-back of the chosen checkpoint; failed verifications escalate
-        L1 → L2 → L4 → full restart, and exhausted attempts abort and
-        requeue the job (see :class:`RecoveryPolicy`).
+        Fail-stop kinds (``software``/``node``/``burst``) start (or
+        re-enter, for nested faults) a recovery episode: every rank rolls
+        back to the newest *globally committed* checkpoint whose level
+        covers the fault *kind* and whose data survived torn writes — or
+        to the very beginning when no surviving checkpoint does.  Each
+        attempt pays the ArchBEO downtime plus one read-back of the
+        chosen checkpoint; failed verifications escalate L1 → L2 → L4 →
+        full restart, and exhausted attempts abort and requeue the job
+        (see :class:`RecoveryPolicy`).
+
+        ``sdc`` arms a latent corruption flag (nothing visible until a
+        detection point); ``straggler`` degrades the node's compute clock
+        until repair.  Neither interrupts execution at injection time.
+
+        *detail* carries the kind-specific parameters drawn by the
+        injector (defaults applied when called directly); *event* is the
+        injector's log record, updated in place with detection outcomes.
         """
         if self._aborted or self._finished == self.nranks:
             return
-        min_level = self.MIN_LEVEL_FOR_KIND.get(kind)
-        if min_level is None:
+        if kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {kind!r}; expected "
-                f"{sorted(self.MIN_LEVEL_FOR_KIND)}"
+                f"{sorted(FAULT_KINDS)}"
             )
         if self._recovery is not None and self._recovery.requeued:
             # The job is sitting in the scheduler queue: node failures
             # during the resubmission window do not hit it.
             return
+        if detail is None:
+            detail = FaultDetail(victims=(node,), slowdown=2.0)
+        if event is None:
+            event = FaultEvent(
+                self.engine.now,
+                node,
+                kind,
+                victims=detail.victims,
+                slowdown=detail.slowdown,
+            )
         self.faults_injected += 1
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+        self._record_fault_metric(kind)
+        if kind == "straggler":
+            self._apply_straggler(node, detail, event)
+            return
+        if kind == "sdc":
+            self._arm_sdc(node, detail, event)
+            return
         now = self.engine.now
-        self._handle_torn(now, node)
+        for victim in detail.victims if kind == "burst" else (node,):
+            self._handle_torn(now, victim)
         # Pause the whole job: collectives, batches, pending resumes.
         self.sync.reset(self.engine)
         for rank in self._ranks:
@@ -557,7 +663,9 @@ class BESSTSimulator:
                 episode.kind = kind
                 # A worse kind shrinks the candidate set; refresh the
                 # ladder so no rung points at an uncovered checkpoint.
-                episode.ladder = self._candidate_ladder(kind)
+                episode.ladder = self._candidate_ladder(
+                    kind, avoid_corrupt=episode.avoid_corrupt
+                )
             # The episode's fault_time and credited rework stand: ranks
             # are paused during recovery, so the nested fault exposes no
             # new lost progress — only fresh downtime (charged below).
@@ -566,6 +674,167 @@ class BESSTSimulator:
                 kind=kind, fault_time=now, ladder=self._candidate_ladder(kind)
             )
         self._start_attempt()
+
+    # -- stragglers --------------------------------------------------------------------
+
+    def _slowdown_for_rank(self, rank: int) -> float:
+        if not self._node_slowdown:
+            return 1.0
+        return self._node_slowdown.get(self.archbeo.node_of_rank(rank), 1.0)
+
+    def _apply_straggler(self, node: int, detail: FaultDetail, event: FaultEvent) -> None:
+        """Degrade *node*'s compute clock; schedule its repair."""
+        self._node_slowdown[node] = max(
+            self._node_slowdown.get(node, 1.0), detail.slowdown
+        )
+        token = self._straggler_token.get(node, 0) + 1
+        self._straggler_token[node] = token
+        if detail.repair_s > 0:
+            # Token-guarded: a newer straggler on the same node outdates
+            # this repair (the node stays degraded until the *last* one
+            # is fixed).
+            self.engine.schedule(
+                detail.repair_s, self._straggler_repaired, payload=(node, token)
+            )
+
+    def _straggler_repaired(self, ev: Event) -> None:
+        node, token = ev.payload
+        if self._straggler_token.get(node) != token:
+            return  # a newer degradation superseded this repair
+        self._node_slowdown.pop(node, None)
+
+    # -- silent data corruption --------------------------------------------------------
+
+    def _arm_sdc(self, node: int, detail: FaultDetail, event: FaultEvent) -> None:
+        """Arm a latent corruption flag on the first rank of *node*."""
+        self.sdc_injected += 1
+        victim = next(
+            (
+                r.rank
+                for r in self._ranks
+                if self.archbeo.node_of_rank(r.rank) == node
+            ),
+            None,
+        )
+        if victim is None:
+            # The strike hit memory no simulated rank owns: benign.
+            event.outcome = "no_effect"
+            return
+        self._sdc_latent.setdefault(victim, []).append(
+            {
+                "armed": self.engine.now,
+                "covered": detail.covered,
+                "correctable": detail.correctable,
+                "event": event,
+            }
+        )
+
+    def _on_checkpoint_commit(self, rank: "_Rank", seq: int) -> bool:
+        """A rank committed checkpoint *seq*.
+
+        A flagged rank bakes its corruption into the written version
+        (the whole global instance becomes unusable as a clean restart
+        point).  With write validation enabled, the corrupt write is a
+        secondary detection point.  Returns True when detection started
+        a recovery episode (the caller must not advance).
+        """
+        strikes = self._sdc_latent.get(rank.rank)
+        if not strikes:
+            return False
+        self._corrupt_seqs.add(seq)
+        if self.policy.ckpt_validate_prob > 0 and any(
+            s["covered"] for s in strikes
+        ):
+            caught = (
+                float(self._sdc_rng.random()) < self.policy.ckpt_validate_prob
+            )
+            if caught:
+                return self._sdc_detect(rank, path="ckpt_validate")
+        return False
+
+    def _on_verify_point(self, rank: "_Rank") -> bool:
+        """A rank committed an ABFT Verify kernel — the primary detector.
+
+        Returns True when detection started a recovery episode.
+        """
+        if not self._sdc_latent.get(rank.rank):
+            return False
+        return self._sdc_detect(rank, path="verify")
+
+    def _sdc_detect(self, rank: "_Rank", path: str) -> bool:
+        """Observe *rank*'s covered latent strikes at a detection point.
+
+        All covered strikes are detected together (the checksum check
+        sees the accumulated damage).  If every one is within ABFT's
+        correction capability, they are fixed in place; otherwise the
+        job enters a recovery episode that rolls back past the last
+        clean checkpoint.  Uncovered strikes stay latent — the detector
+        cannot see them.
+        """
+        if self._recovery is not None:
+            return False
+        strikes = self._sdc_latent.get(rank.rank, [])
+        covered = [s for s in strikes if s["covered"]]
+        if not covered:
+            return False
+        now = self.engine.now
+        all_correctable = all(s["correctable"] for s in covered)
+        for s in covered:
+            self.sdc_detected += 1
+            latency = now - s["armed"]
+            self.sdc_detect_latency_s += latency
+            ev = s["event"]
+            ev.detected_time = now
+            ev.outcome = "corrected" if all_correctable else "rolled_back"
+            self._record_sdc_detection(path, latency, ev.outcome)
+        if all_correctable:
+            self.sdc_corrected += len(covered)
+            remaining = [s for s in strikes if not s["covered"]]
+            if remaining:
+                self._sdc_latent[rank.rank] = remaining
+            else:
+                del self._sdc_latent[rank.rank]
+            return False
+        # Rollback path: pause the job and recover, skipping checkpoints
+        # written while the corruption was latent.
+        self.sync.reset(self.engine)
+        for r in self._ranks:
+            r.pause()
+        self._finished = 0
+        self._recovery = _RecoveryEpisode(
+            kind="sdc",
+            fault_time=now,
+            ladder=self._candidate_ladder("sdc", avoid_corrupt=True),
+            avoid_corrupt=True,
+        )
+        self._start_attempt()
+        return True
+
+    def _record_fault_metric(self, kind: str) -> None:
+        """Per-kind injection counter in the process-global obs registry.
+        Lazily imported: faults are rare relative to simulation events."""
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "fault_injected_total",
+            help="Faults injected into the simulator, by kind.",
+            kind=kind,
+        ).inc()
+
+    def _record_sdc_detection(self, path: str, latency: float, outcome: str) -> None:
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        reg.counter(
+            "sdc_detected_total",
+            help="Latent SDC strikes observed, by detection path and outcome.",
+            path=path,
+            outcome=outcome,
+        ).inc()
+        reg.histogram(
+            "sdc_detection_latency_s",
+            help="Injection-to-detection latency of observed SDC strikes.",
+        ).observe(latency)
 
     def _handle_torn(self, now: float, node: int) -> None:
         """Invalidate checkpoints torn by a fault at *now*.
@@ -591,19 +860,24 @@ class BESSTSimulator:
                 if seq > 0 and rank.restart_history[seq][4] == 1:
                     self._invalid_seqs.add(seq)
 
-    def _candidate_ladder(self, kind: str) -> list[int]:
+    def _candidate_ladder(self, kind: str, avoid_corrupt: bool = False) -> list[int]:
         """Restart candidates, newest-first along the escalation ladder.
 
         One rung per protection tier (L1, L2, L4) at or above the fault
         kind's minimum level, each resolved to the newest globally
         committed, non-torn checkpoint covered by that tier; the final
-        rung is always 0 — full restart from the input deck.
+        rung is always 0 — full restart from the input deck.  With
+        *avoid_corrupt* (detected-SDC recovery) checkpoints written while
+        the corruption was latent are skipped too: recovery reaches past
+        the newest checkpoint to the last *clean* version.
         """
         min_level = self.MIN_LEVEL_FOR_KIND[kind]
         seq_star = min(r.ckpt_seq for r in self._ranks)
         committed: list[tuple[int, int]] = []
         for seq in range(seq_star, 0, -1):
             if seq in self._invalid_seqs:
+                continue
+            if avoid_corrupt and seq in self._corrupt_seqs:
                 continue
             entries = [r.restart_history.get(seq) for r in self._ranks]
             if any(e is None for e in entries):
@@ -669,8 +943,14 @@ class BESSTSimulator:
         )
         if ok:
             # Checkpoints discarded by the rollback may get their sequence
-            # numbers reused; drop their stale torn-markers.
+            # numbers reused; drop their stale torn- and corrupt-markers.
             self._invalid_seqs = {q for q in self._invalid_seqs if q <= seq}
+            self._corrupt_seqs = {q for q in self._corrupt_seqs if q <= seq}
+            if seq not in self._corrupt_seqs:
+                # The restored state predates every surviving latent
+                # strike (a strike armed before this checkpoint's commit
+                # would have tainted it), so the rewind erases them all.
+                self._clear_latent_sdc("erased")
             self._recovery = None
             return  # ranks resume on their already-scheduled events
         self.verify_failures += 1
@@ -688,7 +968,7 @@ class BESSTSimulator:
             return
         self.requeues += 1
         delay = self.policy.requeue_delay_s
-        if episode.kind == "node":
+        if episode.kind in ("node", "burst"):
             if self._spares_left > 0:
                 self._spares_left -= 1
                 delay += self.policy.spare_swap_s
@@ -707,10 +987,24 @@ class BESSTSimulator:
         self._recovery_event = None
         self._recovery = None
         self._invalid_seqs.clear()
+        self._corrupt_seqs.clear()
+        self._clear_latent_sdc("erased")
+        # The repaired allocation has no degraded nodes either.
+        self._node_slowdown.clear()
         if self.fault_injector is not None:
             self.fault_injector.notify_requeue()
         for rank in self._ranks:
             rank.rollback(0, 0.0)
+
+    def _clear_latent_sdc(self, outcome: str) -> None:
+        """Drop every latent strike (a rewind restored clean state),
+        recording *outcome* on events that never reached a detector."""
+        for strikes in self._sdc_latent.values():
+            for s in strikes:
+                ev = s["event"]
+                if not ev.outcome:
+                    ev.outcome = outcome
+        self._sdc_latent.clear()
 
     def _abort(self) -> None:
         """Requeues exhausted: the job is lost.  Ranks stay paused, the
@@ -787,6 +1081,18 @@ class BESSTSimulator:
                     f"simulation ended with unfinished ranks {unfinished[:5]}"
                 )
         tl0 = self._ranks[0].timeline
+        # Strikes still latent when the job "finishes" were never seen by
+        # any detector: the run produced a wrong result.
+        sdc_undetected = 0
+        for strikes in self._sdc_latent.values():
+            for s in strikes:
+                sdc_undetected += 1
+                ev = s["event"]
+                if not ev.outcome:
+                    ev.outcome = "undetected"
+        wrong_result = (not self._aborted) and sdc_undetected > 0
+        if wrong_result:
+            self._record_wrong_result()
         self._result = SimulationResult(
             total_time=(
                 self._abort_time
@@ -815,5 +1121,21 @@ class BESSTSimulator:
             waste_rework=self.waste_rework,
             waste_downtime=self.waste_downtime,
             waste_requeue=self.waste_requeue,
+            verify_time=tl0.time_in("verify"),
+            faults_by_kind=dict(sorted(self.faults_by_kind.items())),
+            sdc_injected=self.sdc_injected,
+            sdc_detected=self.sdc_detected,
+            sdc_corrected=self.sdc_corrected,
+            sdc_undetected=sdc_undetected,
+            wrong_result=wrong_result,
+            sdc_detect_latency_s=self.sdc_detect_latency_s,
         )
         return self._result
+
+    def _record_wrong_result(self) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "sim_wrong_result_total",
+            help="Runs that finished carrying undetected silent corruption.",
+        ).inc()

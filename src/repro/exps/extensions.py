@@ -591,3 +591,139 @@ def format_ext7(rows: list[GranularityRow]) -> str:
             f"{r.fit_seconds:>9.1f}s"
         )
     return "\n".join(lines)
+
+
+# -- EXT8: SDC verification-interval DSE under a mixed fault taxonomy ----------
+
+
+#: fault mix exercising the whole taxonomy, weighted toward SDC so the
+#: verification cadence is the binding design choice
+EXT8_FAULT_MIX = (
+    ("burst", 0.05),
+    ("node", 0.10),
+    ("sdc", 0.40),
+    ("software", 0.35),
+    ("straggler", 0.10),
+)
+
+
+@dataclass
+class SDCVerifyRow:
+    verify_period: int          #: timesteps between ABFT verifications (0: off)
+    mean_total: float
+    mean_wasted: float
+    mean_verify: float          #: mean time spent in verification kernels
+    sdc_detected: float         #: mean detected strikes per run
+    sdc_undetected: float       #: mean strikes still latent at completion
+    wrong_result_rate: float    #: fraction of runs completing with bad output
+
+
+def sdc_verification_dse(
+    verify_periods: Sequence[int] = (0, 2, 5, 10, 20),
+    node_mtbf_s: float = 6.0,
+    ckpt_period: int = 10,
+    timesteps: int = 80,
+    reps: int = 8,
+    seed: int = 0,
+) -> list[SDCVerifyRow]:
+    """Sweep the ABFT verification cadence under a mixed fault taxonomy.
+
+    The trade the sweep exposes: verifying every couple of timesteps pays
+    steady kernel overhead but catches silent corruption early (short
+    detection latency, shallow rollbacks, few wrong results); verifying
+    rarely or never is cheap per run but lets strikes survive to
+    completion, turning finished runs into wrong answers.  The simulated
+    sweet spot is cross-checked against the closed-form two-error-type
+    optimum of :func:`repro.analytical.youngdaly.two_error_interval`
+    (see :func:`ext8_analytic_period`).
+    """
+    from repro.core.campaign import CampaignSpec, build_campaign_simulator
+    from repro.core.fault_injection import RecoveryPolicy
+    from repro.core.montecarlo import derive_seeds
+
+    policy = RecoveryPolicy()
+    seeds = derive_seeds(seed, reps)
+    rows: list[SDCVerifyRow] = []
+    for vp in verify_periods:
+        spec = CampaignSpec(
+            node_mtbf_s=node_mtbf_s,
+            ckpt_period=ckpt_period,
+            timesteps=timesteps,
+            fault_mix=EXT8_FAULT_MIX,
+            verify_period=vp,
+        )
+        results = []
+        for s in seeds:
+            sim = build_campaign_simulator(spec, int(s), policy)
+            results.append(sim.run(max_events=50_000_000))
+        rows.append(
+            SDCVerifyRow(
+                verify_period=vp,
+                mean_total=float(np.mean([r.total_time for r in results])),
+                mean_wasted=float(np.mean([r.wasted_time for r in results])),
+                mean_verify=float(np.mean([r.verify_time for r in results])),
+                sdc_detected=float(np.mean([r.sdc_detected for r in results])),
+                sdc_undetected=float(
+                    np.mean([r.sdc_undetected for r in results])
+                ),
+                wrong_result_rate=float(
+                    np.mean([1.0 if r.wrong_result else 0.0 for r in results])
+                ),
+            )
+        )
+    return rows
+
+
+def ext8_analytic_period(
+    node_mtbf_s: float = 6.0,
+    compute_s: float = 0.1,
+    ckpt_cost_s: float = 0.05,
+    verify_cost_s: float = 0.01,
+) -> float:
+    """The two-error-type optimal cadence, in timesteps.
+
+    The injector draws one fault per exponential arrival and then picks
+    its kind from :data:`EXT8_FAULT_MIX`, so each kind's MTBF is the
+    overall MTBF divided by that kind's weight.  Fail-stop pools every
+    kind that interrupts execution (everything but SDC).
+    """
+    from repro.analytical.youngdaly import two_error_interval
+
+    mix = dict(EXT8_FAULT_MIX)
+    sdc_w = mix.get("sdc", 0.0)
+    failstop_w = sum(w for k, w in mix.items() if k != "sdc")
+    mtbf_sdc = node_mtbf_s / sdc_w if sdc_w > 0 else float("inf")
+    mtbf_failstop = (
+        node_mtbf_s / failstop_w if failstop_w > 0 else float("inf")
+    )
+    tau = two_error_interval(ckpt_cost_s, verify_cost_s, mtbf_failstop, mtbf_sdc)
+    return tau / compute_s
+
+
+def format_ext8(rows: list[SDCVerifyRow]) -> str:
+    lines = [
+        "EXT8 — SDC verification-interval DSE (mixed fault taxonomy: "
+        + ", ".join(f"{k}={w:g}" for k, w in EXT8_FAULT_MIX)
+        + ")",
+        f"{'verify/ts':>10s}{'mean total':>12s}{'wasted':>9s}{'verify':>9s}"
+        f"{'detect':>8s}{'latent':>8s}{'wrong %':>9s}",
+    ]
+    # "best" balances speed against correctness: fastest run among the
+    # cadences that produced no wrong results, else lowest wrong rate
+    clean = [r for r in rows if r.wrong_result_rate == 0.0]
+    pool = clean or sorted(rows, key=lambda r: r.wrong_result_rate)[:1]
+    best = min(pool, key=lambda r: r.mean_total).verify_period
+    for r in rows:
+        cadence = "off" if r.verify_period == 0 else str(r.verify_period)
+        marker = "  <- simulated optimum" if r.verify_period == best else ""
+        lines.append(
+            f"{cadence:>10s}{r.mean_total:>11.3f}s{r.mean_wasted:>8.3f}s"
+            f"{r.mean_verify:>8.3f}s{r.sdc_detected:>8.1f}"
+            f"{r.sdc_undetected:>8.1f}{100 * r.wrong_result_rate:>8.1f}%"
+            f"{marker}"
+        )
+    lines.append(
+        "analytic two-error-type optimum: "
+        f"{ext8_analytic_period():.1f} timesteps between verifications"
+    )
+    return "\n".join(lines)

@@ -47,16 +47,27 @@ class FTIConfig:
     ckpt_interval:
         Timesteps between checkpoints (40 in the case study), exposed here
         for convenience of workflow drivers.
+    keep_versions:
+        Checkpoint versions retained per level.  1 (classic FTI) purges
+        the previous instance as soon as a new one commits; > 1 keeps a
+        history so recovery can reach *past* a version invalidated after
+        the fact — the silent-data-corruption case, where the newest
+        checkpoint was written while the corruption was already latent.
     """
 
     group_size: int = 4
     node_size: int = 2
     partner_copies: int = 2
     ckpt_interval: int = 40
+    keep_versions: int = 1
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        if self.keep_versions < 1:
+            raise ValueError(
+                f"keep_versions must be >= 1, got {self.keep_versions}"
+            )
         if self.node_size < 1:
             raise ValueError(f"node_size must be >= 1, got {self.node_size}")
         if not 0 <= self.partner_copies < self.group_size or (

@@ -99,8 +99,14 @@ class FTI:
         self.local = [LocalStore(n) for n in range(self.layout.nnodes)]
         self.pfs = PFSStore()
         self._ckpt_counter = 0
-        #: latest successful checkpoint id per level
+        #: latest successful *clean* checkpoint id per level (retargeted
+        #: by :meth:`mark_corrupt` to the newest surviving clean version)
         self.latest: dict[CheckpointLevel, int] = {}
+        #: retained checkpoint ids per level, oldest → newest
+        #: (``config.keep_versions`` deep)
+        self.versions: dict[CheckpointLevel, list[int]] = {}
+        #: checkpoint ids invalidated after the fact (latent SDC baked in)
+        self.corrupt_ids: set[int] = set()
         #: (ckpt_id) -> {rank: blob length}; FTI metadata, kept redundantly
         self._lengths: dict[int, dict[int, int]] = {}
         self.receipts: list[CheckpointReceipt] = []
@@ -134,8 +140,12 @@ class FTI:
         """Take a checkpoint of *rank_data* at *level*.
 
         Every level first writes each node's own data locally (the L1
-        action), then adds its own protection.  Older checkpoints of the
-        same level are discarded on success, as FTI does.
+        action), then adds its own protection.  On success the oldest
+        retained checkpoint of the same level beyond
+        ``config.keep_versions`` is discarded — with the default of 1
+        this is classic FTI (the previous instance is retired
+        immediately); deeper retention keeps a rollback-past-the-newest
+        history for after-the-fact invalidation (:meth:`mark_corrupt`).
         """
         level = CheckpointLevel(level)
         self._check_rank_data(rank_data)
@@ -179,10 +189,14 @@ class FTI:
                 self.pfs.write(f"pfs/{ckpt_id}/node{node}", blob)
                 receipt.bytes_pfs += len(blob)
 
-        # Success: retire the previous checkpoint of this level.
-        prev = self.latest.get(level)
-        if prev is not None:
-            self._purge(prev, level)
+        # Success: retain the new version, retire those beyond the
+        # per-level retention window (oldest first).
+        retained = self.versions.setdefault(level, [])
+        retained.append(ckpt_id)
+        while len(retained) > self.config.keep_versions:
+            old = retained.pop(0)
+            self._purge(old, level)
+            self.corrupt_ids.discard(old)
         self.latest[level] = ckpt_id
         self.receipts.append(receipt)
         _record_fti_metrics(
@@ -231,6 +245,47 @@ class FTI:
         for n in nodes:
             self.local[n].repair()
 
+    def mark_corrupt(self, ckpt_id: int) -> None:
+        """Invalidate a committed checkpoint after the fact.
+
+        The silent-data-corruption path: a later detection point reveals
+        that *ckpt_id* was written while corruption was already latent in
+        application memory.  Every stored object of the version (own
+        copies, partner copies, RS parity, PFS objects) is marked corrupt
+        in its store, and ``latest`` retargets to the newest surviving
+        clean version of the level — recovery transparently reaches past
+        the poisoned one.
+        """
+        level = next(
+            (lvl for lvl, vs in self.versions.items() if ckpt_id in vs), None
+        )
+        if level is None:
+            raise ValueError(
+                f"checkpoint {ckpt_id} is not retained at any level"
+            )
+        self.corrupt_ids.add(ckpt_id)
+        for node in range(self.layout.nnodes):
+            store = self.local[node]
+            store.mark_corrupt(f"own/{level.value}/{ckpt_id}")
+            for other in range(self.layout.nnodes):
+                store.mark_corrupt(f"partner/{ckpt_id}/from{other}")
+            for i in range(self.config.group_size):
+                store.mark_corrupt(f"rs/{ckpt_id}/parity{i}")
+            self.pfs.mark_corrupt(f"pfs/{ckpt_id}/node{node}")
+        clean = self.valid_versions(level)
+        if clean:
+            self.latest[level] = clean[-1]
+        else:
+            self.latest.pop(level, None)
+
+    def valid_versions(self, level: CheckpointLevel | int) -> list[int]:
+        """Retained, non-invalidated checkpoint ids of *level*, oldest
+        first."""
+        level = CheckpointLevel(level)
+        return [
+            c for c in self.versions.get(level, []) if c not in self.corrupt_ids
+        ]
+
     @property
     def failed_nodes(self) -> list[int]:
         return [n for n in range(self.layout.nnodes) if self.local[n].failed]
@@ -246,17 +301,34 @@ class FTI:
             return False
 
     def recover(
-        self, level: CheckpointLevel | int, _dry_run: bool = False
+        self,
+        level: CheckpointLevel | int,
+        ckpt_id: Optional[int] = None,
+        _dry_run: bool = False,
     ) -> dict[int, bytes]:
         """Reconstruct all ranks' checkpoint data from *level*.
+
+        Without *ckpt_id* the newest clean retained version is used; an
+        explicit id recovers an older retained version (it must not have
+        been invalidated by :meth:`mark_corrupt`).
 
         Raises
         ------
         RecoveryError
-            If no checkpoint exists at the level or too much data is lost.
+            If no (clean) checkpoint exists at the level or too much
+            data is lost.
         """
         level = CheckpointLevel(level)
-        ckpt_id = self.latest.get(level)
+        if ckpt_id is None:
+            ckpt_id = self.latest.get(level)
+        elif ckpt_id in self.corrupt_ids:
+            raise RecoveryError(
+                f"checkpoint {ckpt_id} was invalidated (silent corruption)"
+            )
+        elif ckpt_id not in self.versions.get(level, []):
+            raise RecoveryError(
+                f"checkpoint {ckpt_id} is not retained at level {level.value}"
+            )
         if ckpt_id is None:
             raise RecoveryError(f"no successful checkpoint at level {level.value}")
 
@@ -275,15 +347,15 @@ class FTI:
         return out
 
     def recover_any(self) -> tuple[CheckpointLevel, dict[int, bytes]]:
-        """Recover from the cheapest level that works (L1 → L4)."""
+        """Recover from the cheapest level that works (L1 → L4), walking
+        each level's clean retained versions newest-first."""
         errors = []
         for level in CheckpointLevel:
-            if level not in self.latest:
-                continue
-            try:
-                return level, self.recover(level)
-            except RecoveryError as exc:
-                errors.append(f"L{level.value}: {exc}")
+            for cid in reversed(self.valid_versions(level)):
+                try:
+                    return level, self.recover(level, ckpt_id=cid)
+                except RecoveryError as exc:
+                    errors.append(f"L{level.value}#{cid}: {exc}")
         raise RecoveryError("no recoverable checkpoint; " + "; ".join(errors))
 
     # -- per-level recovery ---------------------------------------------------------------

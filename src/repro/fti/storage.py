@@ -29,11 +29,16 @@ class LocalStore:
         self.failed = False
         self.bytes_written = 0
         self.torn_writes = 0
+        #: keys invalidated after the fact (silent corruption discovered
+        #: by a later detection point); the bytes stay on disk but reads
+        #: refuse to serve them
+        self.corrupt_keys: set[str] = set()
 
     def write(self, key: str, blob: bytes) -> None:
         if self.failed:
             raise StorageError(f"node {self.node} has failed; write rejected")
         self._data[key] = bytes(blob)
+        self.corrupt_keys.discard(key)  # fresh bytes supersede the taint
         self.bytes_written += len(blob)
 
     def torn_write(self, key: str) -> None:
@@ -46,27 +51,40 @@ class LocalStore:
         self._data.pop(key, None)
         self.torn_writes += 1
 
+    def mark_corrupt(self, key: str) -> None:
+        """Invalidate *key*: the stored bytes are silently corrupt.
+
+        Subsequent reads return None, exactly like lost data — recovery
+        walks past the version without special-casing why it is bad.
+        """
+        if key in self._data:
+            self.corrupt_keys.add(key)
+
     def read(self, key: str) -> Optional[bytes]:
-        """The stored bytes, or None if missing / node failed."""
-        if self.failed:
+        """The stored bytes, or None if missing / node failed / corrupt."""
+        if self.failed or key in self.corrupt_keys:
             return None
         return self._data.get(key)
 
     def delete(self, key: str) -> None:
         self._data.pop(key, None)
+        self.corrupt_keys.discard(key)
 
     def clear(self) -> None:
         self._data.clear()
+        self.corrupt_keys.clear()
 
     def fail(self) -> None:
         """Simulate node loss: all local checkpoint data is gone."""
         self.failed = True
         self._data.clear()
+        self.corrupt_keys.clear()
 
     def repair(self) -> None:
         """Bring the (replacement) node back with empty storage."""
         self.failed = False
         self._data.clear()
+        self.corrupt_keys.clear()
 
     @property
     def used_bytes(self) -> int:
@@ -82,16 +100,26 @@ class PFSStore:
     def __init__(self) -> None:
         self._data: dict[str, bytes] = {}
         self.bytes_written = 0
+        self.corrupt_keys: set[str] = set()
 
     def write(self, key: str, blob: bytes) -> None:
         self._data[key] = bytes(blob)
+        self.corrupt_keys.discard(key)
         self.bytes_written += len(blob)
 
+    def mark_corrupt(self, key: str) -> None:
+        """Invalidate *key* (see :meth:`LocalStore.mark_corrupt`)."""
+        if key in self._data:
+            self.corrupt_keys.add(key)
+
     def read(self, key: str) -> Optional[bytes]:
+        if key in self.corrupt_keys:
+            return None
         return self._data.get(key)
 
     def delete(self, key: str) -> None:
         self._data.pop(key, None)
+        self.corrupt_keys.discard(key)
 
     @property
     def used_bytes(self) -> int:

@@ -88,6 +88,61 @@ def test_double_corruption_detected_not_corrected():
         verify_and_correct(c)
 
 
+def test_same_row_double_corruption_detected_not_corrected():
+    """Two strikes in one row: one row invariant but two column
+    invariants break — locatable to a row, not to elements."""
+    a, b = rand(5, 5, 9), rand(5, 5, 10)
+    c = abft_matmul(a, b)
+    c.data[1, 0] += 2.0
+    c.data[1, 4] -= 3.0
+    with pytest.raises(ABFTError, match="1 row and 2 column"):
+        verify_and_correct(c)
+
+
+def test_same_column_double_corruption_detected_not_corrected():
+    a, b = rand(5, 5, 11), rand(5, 5, 12)
+    c = abft_matmul(a, b)
+    c.data[0, 2] += 2.0
+    c.data[3, 2] += 1.5
+    with pytest.raises(ABFTError, match="2 row and 1 column"):
+        verify_and_correct(c)
+
+
+def test_whole_row_wipe_detected_not_corrected():
+    """A burst wiping a full payload row breaks every column invariant."""
+    a, b = rand(4, 4, 13), rand(4, 6, 14)
+    c = abft_matmul(a, b)
+    c.data[2, :-1] = 0.0
+    with pytest.raises(ABFTError):
+        verify_and_correct(c)
+
+
+def test_many_element_corruption_detected_not_corrected():
+    a, b = rand(6, 6, 15), rand(6, 6, 16)
+    c = abft_matmul(a, b)
+    rng = np.random.default_rng(17)
+    for i, j in {(0, 1), (2, 2), (4, 5), (5, 0)}:
+        c.data[i, j] += float(rng.uniform(1, 5))
+    with pytest.raises(ABFTError, match="uncorrectable corruption"):
+        verify_and_correct(c)
+
+
+def test_cancelling_corruption_within_tolerance_is_invisible():
+    """Strikes that happen to preserve every row AND column sum are
+    beyond any checksum scheme — the model's 'uncovered' fraction."""
+    a, b = rand(4, 4, 18), rand(4, 4, 19)
+    c = abft_matmul(a, b)
+    # a +d/-d 2x2 pattern preserves both row and column sums
+    d = 5.0
+    c.data[0, 0] += d
+    c.data[0, 1] -= d
+    c.data[1, 0] -= d
+    c.data[1, 1] += d
+    payload, corrected = verify_and_correct(c)
+    assert corrected is None  # silently wrong: checksums all consistent
+    assert not np.allclose(payload, a @ b)
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     m=st.integers(min_value=2, max_value=8),

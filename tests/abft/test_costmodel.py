@@ -1,0 +1,105 @@
+"""Edge cases of the ABFT cost/benefit model."""
+
+import math
+
+import pytest
+
+from repro.abft import abft_overhead_ratio, sdc_outcome_probabilities
+
+
+# -- abft_overhead_ratio degenerate shapes -----------------------------------------
+
+
+def test_overhead_degenerate_1x1():
+    # plain 1x1x1 costs 2 flops; the encoded 2x1x2 product plus encoding
+    # (2 flops) and verification (2 flops) costs 12: ratio 5
+    assert abft_overhead_ratio(1, k=1, m=1) == pytest.approx(5.0)
+
+
+def test_overhead_row_and_column_vectors():
+    # m=1 (row result): the appended checksum row doubles the work
+    assert abft_overhead_ratio(1000, k=1000, m=1) > 1.0
+    # n=1 (column result): symmetric
+    assert abft_overhead_ratio(1, k=1000, m=1000) > 1.0
+    # deep contraction (large k) with a small result amortizes nothing
+    assert abft_overhead_ratio(2, k=10_000, m=2) == pytest.approx(
+        (2 * 3 * 10_000 * 3 + (2 * 10_000 + 10_000 * 2) + 2 * 2 * 2)
+        / (2 * 2 * 10_000 * 2)
+        - 1.0
+    )
+
+
+def test_overhead_defaults_square():
+    assert abft_overhead_ratio(64) == abft_overhead_ratio(64, k=64, m=64)
+
+
+def test_overhead_always_positive():
+    for n in (1, 2, 10, 1000, 100_000):
+        assert abft_overhead_ratio(n) > 0.0
+
+
+@pytest.mark.parametrize("bad", [dict(n=0), dict(n=-3), dict(n=4, k=0),
+                                 dict(n=4, m=-1)])
+def test_overhead_rejects_nonpositive_dims(bad):
+    with pytest.raises(ValueError):
+        abft_overhead_ratio(**bad)
+
+
+# -- sdc_outcome_probabilities edge cases ------------------------------------------
+
+
+def test_zero_rate_means_zero_risk():
+    out = sdc_outcome_probabilities(0.0, job_hours=1000.0)
+    assert out == {"p_sdc": 0.0, "p_bad_plain": 0.0, "p_bad_abft": 0.0}
+
+
+def test_zero_coverage_means_abft_is_useless():
+    out = sdc_outcome_probabilities(0.5, job_hours=2.0, abft_coverage=0.0)
+    assert out["p_bad_abft"] == pytest.approx(out["p_bad_plain"])
+
+
+def test_probabilities_are_probabilities():
+    for rate, hours, cov in [
+        (1e-6, 0.01, 0.5),
+        (10.0, 1000.0, 0.99),  # saturating exposure
+        (0.3, 8.0, 0.0),
+        (0.3, 8.0, 1.0),
+    ]:
+        out = sdc_outcome_probabilities(rate, hours, cov)
+        for key, p in out.items():
+            assert 0.0 <= p <= 1.0, (key, p)
+        # ABFT can only reduce the silent-corruption risk
+        assert out["p_bad_abft"] <= out["p_bad_plain"]
+        assert out["p_sdc"] == out["p_bad_plain"]
+
+
+def test_saturating_exposure_approaches_one():
+    out = sdc_outcome_probabilities(100.0, job_hours=100.0, abft_coverage=0.5)
+    assert out["p_sdc"] == pytest.approx(1.0)
+    assert out["p_bad_abft"] == pytest.approx(1.0)
+
+
+def test_complementary_decomposition():
+    """1 - p_bad_abft factorizes as exp(-lam) * exp(lam * coverage):
+    surviving cleanly = (no strike) OR (all strikes covered)."""
+    rate, hours, cov = 0.7, 3.0, 0.8
+    out = sdc_outcome_probabilities(rate, hours, cov)
+    lam = rate * hours
+    assert 1 - out["p_bad_abft"] == pytest.approx(
+        math.exp(-lam) * math.exp(lam * cov)
+    )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(sdc_rate_per_hour=-0.1, job_hours=1.0),
+        dict(sdc_rate_per_hour=1.0, job_hours=0.0),
+        dict(sdc_rate_per_hour=1.0, job_hours=-2.0),
+        dict(sdc_rate_per_hour=1.0, job_hours=1.0, abft_coverage=-0.01),
+        dict(sdc_rate_per_hour=1.0, job_hours=1.0, abft_coverage=1.01),
+    ],
+)
+def test_invalid_inputs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        sdc_outcome_probabilities(**kwargs)

@@ -214,3 +214,67 @@ def test_effective_runtime():
     assert m.effective_runtime(1000.0) == pytest.approx(1000.0, rel=1e-3)
     with pytest.raises(ValueError):
         m.expected_overhead(0)
+
+
+# -- two error types: fail-stop + silent data corruption ----------------------------
+
+
+def test_two_error_reduces_to_young_without_sdc():
+    from repro.analytical import two_error_interval
+
+    assert two_error_interval(
+        10.0, 0.0, 2000.0, math.inf
+    ) == pytest.approx(young_interval(10.0, 2000.0))
+
+
+def test_two_error_closed_form():
+    from repro.analytical import two_error_interval
+
+    C, V, Mf, Ms = 10.0, 2.0, 2000.0, 500.0
+    tau = two_error_interval(C, V, Mf, Ms)
+    assert tau == pytest.approx(math.sqrt((C + V) / (1 / (2 * Mf) + 1 / Ms)))
+    # SDC dominates here (full-period loss at 4x the rate of half-period
+    # fail-stop loss): the optimum is much shorter than Young's
+    assert tau < young_interval(C + V, Mf)
+
+
+def test_two_error_no_failures_never_checkpoint():
+    from repro.analytical import two_error_interval
+
+    assert two_error_interval(10.0, 1.0, math.inf, math.inf) == math.inf
+
+
+def test_two_error_interval_minimises_waste():
+    from repro.analytical import two_error_interval, two_error_waste_fraction
+
+    C, V, Mf, Ms = 5.0, 1.0, 1500.0, 900.0
+    tau = two_error_interval(C, V, Mf, Ms)
+    w_opt = two_error_waste_fraction(tau, C, V, Mf, Ms)
+    for factor in (0.5, 0.8, 1.25, 2.0):
+        assert w_opt <= two_error_waste_fraction(factor * tau, C, V, Mf, Ms)
+
+
+def test_two_error_monotonic_in_sdc_rate():
+    from repro.analytical import two_error_interval
+
+    # a faster silent-error process forces more frequent verification
+    taus = [
+        two_error_interval(10.0, 1.0, 2000.0, ms)
+        for ms in (math.inf, 4000.0, 1000.0, 250.0)
+    ]
+    assert taus == sorted(taus, reverse=True)
+
+
+def test_two_error_validation():
+    from repro.analytical import two_error_interval, two_error_waste_fraction
+
+    with pytest.raises(ValueError):
+        two_error_interval(0.0, 1.0, 100.0, 100.0)
+    with pytest.raises(ValueError):
+        two_error_interval(1.0, -0.5, 100.0, 100.0)
+    with pytest.raises(ValueError):
+        two_error_interval(1.0, 1.0, -5.0, 100.0)
+    with pytest.raises(ValueError):
+        two_error_interval(1.0, 1.0, 100.0, 0.0)
+    with pytest.raises(ValueError):
+        two_error_waste_fraction(0.0, 1.0, 1.0, 100.0, 100.0)

@@ -157,3 +157,109 @@ def test_build_campaign_simulator_is_reusable():
     ).run(max_events=1_000_000)
     assert clean.faults_injected == 0
     assert clean.total_time >= spec.work_s
+
+
+# -- fault taxonomy in campaigns ---------------------------------------------------
+
+
+MIX = {"software": 0.35, "node": 0.1, "sdc": 0.35, "straggler": 0.1,
+       "burst": 0.1}
+
+
+def test_spec_fault_mix_normalized_and_hashable():
+    s = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, fault_mix=MIX)
+    assert s.fault_mix == tuple(sorted((k, float(v)) for k, v in MIX.items()))
+    hash(s)  # stays frozen/hashable for journal spec keys
+    assert s.fault_model().weights == MIX
+
+
+def test_spec_fault_mix_accepts_pair_iterable():
+    s = CampaignSpec(
+        node_mtbf_s=8.0, ckpt_period=5, fault_mix=[("sdc", 0.5), ("node", 0.5)]
+    )
+    assert s.fault_mix == (("node", 0.5), ("sdc", 0.5))
+
+
+def test_spec_default_mix_is_failstop_alias():
+    # empty mix falls back to the two-kind software_fraction alias
+    # (the campaign default is software-only: software_fraction=1.0)
+    s = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5)
+    assert s.fault_mix == ()
+    assert s.fault_model().weights == {"software": 1.0}
+    mixed = CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, software_fraction=0.7)
+    w = mixed.fault_model().weights
+    assert w["software"] == pytest.approx(0.7)
+    assert w["node"] == pytest.approx(0.3)
+
+
+def test_spec_invalid_mix_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown fault kinds"):
+        CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, fault_mix={"gremlin": 1.0})
+    with pytest.raises(ValueError, match="sum to 1"):
+        CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, fault_mix={"sdc": 0.4})
+
+
+def test_spec_verify_period_validated():
+    with pytest.raises(ValueError):
+        CampaignSpec(node_mtbf_s=8.0, ckpt_period=5, verify_period=-1)
+
+
+def test_point_report_carries_per_kind_counts_and_sdc_stats():
+    spec = CampaignSpec(
+        node_mtbf_s=3.0,
+        ckpt_period=5,
+        timesteps=40,
+        fault_mix=MIX,
+        verify_period=2,
+        sdc_coverage=0.9,
+    )
+    p = ResilienceCampaign(reps=8, base_seed=1).run_point(spec)
+    d = p.to_dict()
+    # waste keys unchanged (compatibility surface) ...
+    assert set(d["waste"]) == {"rework", "downtime", "checkpoint", "requeue"}
+    # ... with the taxonomy reported alongside
+    assert set(d["fault_kinds"]) <= {"software", "node", "sdc", "straggler",
+                                     "burst"}
+    assert sum(d["fault_kinds"].values()) > 0
+    assert set(d["sdc"]) == {"injected", "detected", "corrected",
+                             "undetected", "detect_latency_s"}
+    assert d["sdc"]["injected"] >= d["sdc"]["detected"]
+    assert d["wrong_results"] >= 0
+
+
+def test_verification_reduces_wrong_results_under_sdc_pressure():
+    base = dict(
+        node_mtbf_s=2.0,
+        ckpt_period=5,
+        timesteps=40,
+        fault_mix={"sdc": 1.0},
+        sdc_coverage=1.0,
+        sdc_correct_prob=1.0,
+    )
+    camp = lambda: ResilienceCampaign(reps=10, base_seed=3)
+    blind = camp().run_point(CampaignSpec(**base))
+    watched = camp().run_point(CampaignSpec(**base, verify_period=1))
+    assert blind.to_dict()["wrong_results"] > 0
+    assert watched.to_dict()["wrong_results"] == 0
+    assert watched.to_dict()["sdc"]["detected"] > 0
+
+
+def test_mixed_fault_campaign_is_deterministic():
+    spec_kwargs = dict(fault_mix=MIX, verify_period=3, timesteps=30)
+    a = ResilienceCampaign(reps=5, base_seed=9).run_grid(
+        [3.0], [5], **spec_kwargs
+    )
+    b = ResilienceCampaign(reps=5, base_seed=9).run_grid(
+        [3.0], [5], **spec_kwargs
+    )
+    assert a.to_json() == b.to_json()
+
+
+def test_mixed_fault_journal_report_matches_live_report(tmp_path):
+    journal = str(tmp_path / "wal.jsonl")
+    camp = ResilienceCampaign(reps=4, base_seed=2, journal_path=journal)
+    report = camp.run_grid([3.0], [5], fault_mix=MIX, verify_period=2,
+                           timesteps=30)
+    camp.close()
+    rebuilt = ResilienceCampaign.report_from_journal(journal)
+    assert rebuilt.to_json() == report.to_json()

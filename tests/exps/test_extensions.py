@@ -178,3 +178,36 @@ def test_ext7_granularity():
     assert all(r.percent_error < 40.0 for r in rows)
     assert by["fine"].fit_seconds > 0
     assert "EXT7" in format_ext7(rows)
+
+
+def test_ext8_sdc_verification_dse():
+    from repro.exps.extensions import (
+        ext8_analytic_period,
+        format_ext8,
+        sdc_verification_dse,
+    )
+
+    rows = sdc_verification_dse(
+        verify_periods=(0, 2, 10), reps=4, timesteps=40, seed=1
+    )
+    by = {r.verify_period: r for r in rows}
+    assert set(by) == {0, 2, 10}
+    # without verification nothing is detected and some runs finish wrong
+    assert by[0].mean_verify == 0.0 and by[0].sdc_detected == 0.0
+    assert by[0].wrong_result_rate > 0.0
+    # frequent verification pays kernel time but detects strikes and
+    # suppresses wrong results
+    assert by[2].mean_verify > by[10].mean_verify > 0.0
+    assert by[2].sdc_detected > 0.0
+    assert by[2].wrong_result_rate < by[0].wrong_result_rate
+    assert ext8_analytic_period() > 0.0
+    out = format_ext8(rows)
+    assert "EXT8" in out and "analytic two-error-type optimum" in out
+
+
+def test_ext8_is_deterministic():
+    from repro.exps.extensions import sdc_verification_dse
+
+    a = sdc_verification_dse(verify_periods=(5,), reps=2, timesteps=30, seed=4)
+    b = sdc_verification_dse(verify_periods=(5,), reps=2, timesteps=30, seed=4)
+    assert a == b

@@ -343,3 +343,113 @@ def test_torn_checkpoint_without_commit_is_noop():
     fti.torn_checkpoint(1, nodes=[0])
     assert fti.torn_events == 0
     assert fti.local[0].torn_writes == 0
+
+
+# -- multi-version retention + silent-corruption invalidation -----------------------
+
+
+def make_versioned_fti(keep=2, **kw):
+    cfg = FTIConfig(keep_versions=keep, **kw)
+    return FTI(16, cfg)
+
+
+def test_keep_versions_validated():
+    with pytest.raises(ValueError):
+        FTIConfig(keep_versions=0)
+
+
+def test_classic_fti_keeps_single_version():
+    fti = make_fti()  # keep_versions=1
+    r1 = fti.checkpoint(rank_data(16, tag=1), 1)
+    r2 = fti.checkpoint(rank_data(16, tag=2), 1)
+    assert fti.versions[CheckpointLevel.L1] == [r2.ckpt_id]
+    with pytest.raises(RecoveryError):
+        fti.recover(1, ckpt_id=r1.ckpt_id)  # purged
+
+
+def test_multi_version_retains_history_and_purges_oldest():
+    fti = make_versioned_fti(keep=2)
+    r1 = fti.checkpoint(rank_data(16, tag=1), 1)
+    r2 = fti.checkpoint(rank_data(16, tag=2), 1)
+    r3 = fti.checkpoint(rank_data(16, tag=3), 1)
+    assert fti.versions[CheckpointLevel.L1] == [r2.ckpt_id, r3.ckpt_id]
+    assert fti.recover(1, ckpt_id=r2.ckpt_id) == rank_data(16, tag=2)
+    with pytest.raises(RecoveryError, match="not retained"):
+        fti.recover(1, ckpt_id=r1.ckpt_id)
+
+
+def test_mark_corrupt_retargets_latest_to_clean_version():
+    """The SDC walkthrough at the library level: corruption latent while
+    the newest version was written ->  invalidate it ->  default recovery
+    silently reaches back to the older clean version."""
+    fti = make_versioned_fti(keep=2)
+    clean = rank_data(16, tag=1)
+    fti.checkpoint(clean, 1)
+    tainted = fti.checkpoint(rank_data(16, tag=2), 1)
+    fti.mark_corrupt(tainted.ckpt_id)
+    assert fti.valid_versions(1) == [fti.latest[CheckpointLevel.L1]]
+    assert fti.recover(1) == clean  # latest now points at the clean one
+    with pytest.raises(RecoveryError, match="silent corruption"):
+        fti.recover(1, ckpt_id=tainted.ckpt_id)
+
+
+def test_mark_corrupt_every_version_leaves_nothing():
+    fti = make_versioned_fti(keep=2)
+    r1 = fti.checkpoint(rank_data(16, tag=1), 1)
+    r2 = fti.checkpoint(rank_data(16, tag=2), 1)
+    fti.mark_corrupt(r2.ckpt_id)
+    fti.mark_corrupt(r1.ckpt_id)
+    assert fti.valid_versions(1) == []
+    with pytest.raises(RecoveryError):
+        fti.recover(1)
+
+
+def test_mark_corrupt_unknown_id_rejected():
+    fti = make_versioned_fti(keep=2)
+    with pytest.raises(ValueError, match="not retained"):
+        fti.mark_corrupt(999)
+
+
+def test_recover_any_walks_past_corrupt_versions():
+    fti = make_versioned_fti(keep=3)
+    clean = rank_data(16, tag=1)
+    fti.checkpoint(clean, 2)
+    t2 = fti.checkpoint(rank_data(16, tag=2), 2)
+    t3 = fti.checkpoint(rank_data(16, tag=3), 2)
+    fti.mark_corrupt(t3.ckpt_id)
+    fti.mark_corrupt(t2.ckpt_id)
+    level, data = fti.recover_any()
+    assert level == CheckpointLevel.L2
+    assert data == clean
+
+
+def test_corrupt_bytes_unreadable_in_every_store():
+    """mark_corrupt taints own copies, partner copies, RS shards and the
+    PFS flush alike: no replica of the bad version can serve reads."""
+    fti = make_versioned_fti(keep=2)
+    fti.checkpoint(rank_data(16, tag=1), 4)
+    tainted = fti.checkpoint(rank_data(16, tag=2), 4)
+    fti.mark_corrupt(tainted.ckpt_id)
+    for node in range(fti.layout.nnodes):
+        assert fti.pfs.read(f"pfs/{tainted.ckpt_id}/node{node}") is None
+
+
+def test_fresh_write_supersedes_store_taint():
+    store = fti_storage_local(0)
+    store.write("k", b"old")
+    store.mark_corrupt("k")
+    assert store.read("k") is None
+    store.write("k", b"new")
+    assert store.read("k") == b"new"
+
+
+def test_mark_corrupt_missing_key_is_noop_in_store():
+    store = fti_storage_local(1)
+    store.mark_corrupt("ghost")
+    assert store.corrupt_keys == set()
+
+
+def fti_storage_local(node):
+    from repro.fti.storage import LocalStore
+
+    return LocalStore(node)

@@ -309,3 +309,53 @@ def test_fit_and_show_models(tmp_path, capsys, monkeypatch):
     assert main(["show-models", str(path)]) == 0
     out = capsys.readouterr().out
     assert "lulesh_timestep" in out and "quartz" in out
+
+
+def test_campaign_fault_mix_flags(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "mix.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "3",
+                "--mtbf", "3",
+                "--periods", "5",
+                "--timesteps", "20",
+                "--fault-mix", "software=0.3", "sdc=0.4", "straggler=0.2",
+                "burst=0.1",
+                "--verify-period", "2",
+                "--sdc-coverage", "0.9",
+                "--burst-size", "2",
+                "--json", str(path),
+            ]
+        )
+        == 0
+    )
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+    report = json.loads(path.read_text())
+    (point,) = report["points"]
+    assert set(point["fault_kinds"]) <= {"software", "node", "sdc",
+                                         "straggler", "burst"}
+    assert set(point["sdc"]) == {"injected", "detected", "corrected",
+                                 "undetected", "detect_latency_s"}
+    assert point["wrong_results"] >= 0
+
+
+def test_campaign_fault_mix_flag_syntax_errors():
+    base = ["campaign", "--reps", "1", "--mtbf", "16", "--periods", "5",
+            "--timesteps", "10"]
+    with pytest.raises(SystemExit, match="kind=weight"):
+        main([*base, "--fault-mix", "sdc"])
+    with pytest.raises(SystemExit, match="not a number"):
+        main([*base, "--fault-mix", "sdc=lots"])
+
+
+def test_campaign_fault_mix_semantic_errors_from_model():
+    base = ["campaign", "--reps", "1", "--mtbf", "16", "--periods", "5",
+            "--timesteps", "10"]
+    with pytest.raises(ValueError, match="unknown fault kinds"):
+        main([*base, "--fault-mix", "gremlin=1.0"])
+    with pytest.raises(ValueError, match="sum to 1"):
+        main([*base, "--fault-mix", "sdc=0.4"])
