@@ -1,0 +1,88 @@
+"""Network fault domain — overlay-attached vs bare-topology overhead.
+
+Runs the Fig. 7 workload (64-rank LULESH proxy, 200 timesteps, L1
+checkpoints every 40) under fail-stop fault injection twice per round:
+
+* **bare** — the topology carries no health overlay (``_health is
+  None``), exactly the pre-network-domain hot path,
+* **overlay** — :meth:`Topology.health` has been called, so every
+  communication pricing first checks the (healthy) overlay before taking
+  the fast path.
+
+No network faults fire in either run: the bench isolates what merely
+*carrying* the fault domain costs every simulation.  The min-of-rounds
+wall-time ratio must stay within the PR's budget — the healthy path is
+one attribute check and must remain indistinguishable from free.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.apps import lulesh_appbeo
+from repro.core import BESSTSimulator, FaultInjector, FaultModel, RecoveryPolicy
+
+RANKS = 64
+TIMESTEPS = 200
+EPR = 10
+ROUNDS = 3
+NNODES = 32  # 64 ranks / 2 cores per node on Quartz
+
+#: overlay-attached / bare wall time (min of rounds) must stay under this
+OVERHEAD_BOUND = 1.1
+
+FAILSTOP_MODEL = FaultModel(node_mtbf_s=4000.0, software_fraction=0.6)
+
+
+def _run(ctx, overlay: bool) -> float:
+    from repro.exps.casestudy import CKPT_PERIOD
+    from repro.core.ft import scenario_l1
+
+    arch = ctx.archbeo
+    if overlay:
+        arch.topology.health()  # attach (healthy) fault overlay
+    else:
+        arch.topology._health = None  # detach: pre-network-domain path
+    app = lulesh_appbeo(timesteps=TIMESTEPS, scenario=scenario_l1(CKPT_PERIOD))
+    sim = BESSTSimulator(
+        app,
+        arch,
+        nranks=RANKS,
+        params={"epr": EPR},
+        seed=0,
+        fault_injector=FaultInjector(FAILSTOP_MODEL, nnodes=NNODES, seed=7),
+        recovery_policy=RecoveryPolicy(verify_fail_prob=0.0),
+    )
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    assert res.completed
+    return dt
+
+
+def test_net_overlay_overhead_fig7_workload(benchmark, ctx):
+    _run(ctx, overlay=False)  # warm imports, model LUTs, allocator
+    _run(ctx, overlay=True)
+
+    bare = [_run(ctx, overlay=False) for _ in range(ROUNDS)]
+
+    def one_round():
+        return _run(ctx, overlay=True)
+
+    benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+    with_overlay = [_run(ctx, overlay=True) for _ in range(ROUNDS)]
+    ctx.archbeo.topology._health = None  # leave the shared ctx untouched
+
+    # Compare min-of-rounds: the floor is the honest per-event cost,
+    # everything above it is scheduler noise.
+    ratio = min(with_overlay) / min(bare)
+    benchmark.extra_info["bare_s"] = min(bare)
+    benchmark.extra_info["overlay_s"] = min(with_overlay)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    emit(
+        benchmark,
+        "net-overlay-overhead",
+        f"bare topology: {min(bare):.3f}s  healthy overlay: "
+        f"{min(with_overlay):.3f}s  ratio: {ratio:.3f}x "
+        f"(bound {OVERHEAD_BOUND}x)",
+    )
+    assert ratio <= OVERHEAD_BOUND

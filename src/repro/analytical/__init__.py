@@ -12,7 +12,9 @@ simulator:
 * :mod:`~repro.analytical.replication` — the dual-replication extension
   (Hussain et al. [14]),
 * :mod:`~repro.analytical.sparenodes` — the spare-node / repair queueing
-  view (Jin et al. [16]).
+  view (Jin et al. [16]),
+* :mod:`~repro.analytical.netavail` — closed-form availability and
+  degraded-fabric slowdown for the network fault domain.
 """
 
 from repro.analytical.youngdaly import (
@@ -32,6 +34,21 @@ from repro.analytical.speedup import (
 )
 from repro.analytical.replication import replication_speedup, replication_mtbf
 from repro.analytical.sparenodes import SpareNodeModel
+from repro.analytical.netavail import (
+    steady_state_failed_links,
+    aggregate_stretch,
+    single_link_stretch,
+    expected_stretch,
+    torus_stretch_bound,
+    fattree_degrade,
+    isolation_probability,
+    expected_availability,
+    expected_slowdown,
+    expected_collective_inflation,
+    active_probability,
+    degraded_collective_inflation,
+    time_shared_slowdown,
+)
 
 __all__ = [
     "young_interval",
@@ -48,4 +65,17 @@ __all__ = [
     "replication_speedup",
     "replication_mtbf",
     "SpareNodeModel",
+    "steady_state_failed_links",
+    "aggregate_stretch",
+    "single_link_stretch",
+    "expected_stretch",
+    "torus_stretch_bound",
+    "fattree_degrade",
+    "isolation_probability",
+    "expected_availability",
+    "expected_slowdown",
+    "expected_collective_inflation",
+    "active_probability",
+    "degraded_collective_inflation",
+    "time_shared_slowdown",
 ]

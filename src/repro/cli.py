@@ -53,6 +53,7 @@ _EXPERIMENTS: dict[str, tuple[str, str]] = {
     "ext6": ("extension", "ABFT vs checkpoint-restart for SDC"),
     "ext7": ("extension", "modeling granularity ablation"),
     "ext8": ("extension", "SDC verification-interval x fault-mix DSE"),
+    "ext9": ("extension", "network fault DSE: link MTBF x checkpoint period"),
     "abl1": ("ablation", "LUT vs symbolic regression"),
     "abl2": ("ablation", "checkpoint period vs Young/Daly"),
     "abl3": ("ablation", "analytical speedup baselines"),
@@ -133,8 +134,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KIND=W",
         help=(
             "fault-taxonomy mix as kind=weight pairs summing to 1 "
-            "(kinds: software node sdc straggler burst), e.g. "
-            "--fault-mix software=0.4 sdc=0.3 straggler=0.2 burst=0.1"
+            "(kinds: software node sdc straggler burst link switch "
+            "netdeg), e.g. --fault-mix node=0.5 link=0.5"
         ),
     )
     camp.add_argument(
@@ -164,6 +165,29 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--burst-size", type=int, default=2,
         help="nodes felled per correlated failure burst",
+    )
+    camp.add_argument(
+        "--net-link-mtbf", type=float, default=0.0,
+        help="per-link MTBF in seconds; > 0 folds a network fault stream "
+        "(link/switch/netdeg) into the campaign's fault process",
+    )
+    camp.add_argument(
+        "--net-degrade-factor", type=float, default=4.0,
+        help="bandwidth de-rate factor of a degraded link (netdeg faults)",
+    )
+    camp.add_argument(
+        "--net-loss-prob", type=float, default=0.05,
+        help="message-loss probability of a degraded link",
+    )
+    camp.add_argument(
+        "--net-repair-time", type=float, default=5.0,
+        help="seconds until a failed/degraded link or switch is repaired "
+        "(<= 0: never)",
+    )
+    camp.add_argument(
+        "--net-topology", choices=("full", "torus", "fattree"),
+        default="full",
+        help="interconnect shape of the campaign workload's ranks",
     )
     camp.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = in-process)"
@@ -406,6 +430,10 @@ def _run_experiment(name: str, seed: int, reps: int) -> str:
         from repro.exps.extensions import format_ext8, sdc_verification_dse
 
         return format_ext8(sdc_verification_dse(reps=reps, seed=seed))
+    if name == "ext9":
+        from repro.exps.extensions import format_ext9, network_fault_dse
+
+        return format_ext9(network_fault_dse(reps=reps, seed=seed))
     if name == "abl1":
         from repro.exps.ablations import format_abl1, modeling_method_ablation
         from repro.exps.casestudy import get_context
@@ -579,6 +607,11 @@ def _run_campaign(args) -> tuple[str, int]:
         straggler_slowdown=args.straggler_slowdown,
         straggler_repair_s=args.straggler_repair,
         burst_size=args.burst_size,
+        net_link_mtbf_s=args.net_link_mtbf,
+        net_degrade_factor=args.net_degrade_factor,
+        net_loss_prob=args.net_loss_prob,
+        net_repair_s=args.net_repair_time,
+        net_topology=args.net_topology,
     )
     if args.fault_mix:
         spec_kwargs["fault_mix"] = _parse_fault_mix(args.fault_mix)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import shutil
 from dataclasses import asdict, dataclass, field
@@ -43,7 +44,12 @@ import numpy as np
 
 from repro.analytical.youngdaly import expected_waste
 from repro.core.beo import AppBEO, ArchBEO
-from repro.core.fault_injection import FaultInjector, FaultModel, RecoveryPolicy
+from repro.core.fault_injection import (
+    FaultInjector,
+    FaultModel,
+    RecoveryPolicy,
+    fold_link_rate,
+)
 from repro.core.instructions import Checkpoint, Collective, Compute, Verify
 from repro.core.montecarlo import MonteCarloRunner, derive_seeds
 from repro.core.simulator import BESSTSimulator
@@ -56,7 +62,7 @@ from repro.core.supervisor import (
 )
 from repro.des.snapshot import SnapshotStore
 from repro.models import ConstantModel
-from repro.network import FullyConnected
+from repro.network import FullyConnected, Torus, TwoStageFatTree, link_count
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,18 @@ class CampaignSpec:
     straggler_slowdown: float = 2.0
     straggler_repair_s: float = 5.0
     burst_size: int = 2             #: nodes felled per correlated burst
+    #: per-link MTBF folded into the fault stream (0 = no implicit
+    #: network faults; the mix can still name link/switch/netdeg)
+    net_link_mtbf_s: float = 0.0
+    net_degrade_factor: float = 4.0  #: netdeg bandwidth de-rate
+    net_loss_prob: float = 0.05      #: netdeg transient-loss probability
+    net_repair_s: float = 5.0        #: link/switch repair delay
+    #: rank-level interconnect of the replica simulators: "full"
+    #: (crossbar baseline), "torus" (square 2-D) or "fattree"
+    net_topology: str = "full"
+    #: how the folded link rate splits across link/switch/netdeg, as
+    #: sorted (kind, weight) pairs; empty = NET_KIND_SPLIT
+    net_fault_split: tuple = ()
 
     def __post_init__(self) -> None:
         if self.node_mtbf_s <= 0:
@@ -109,13 +127,67 @@ class CampaignSpec:
                 "fault_mix",
                 tuple(sorted((str(k), float(v)) for k, v in self.fault_mix)),
             )
-        # Fail fast on an invalid mix / taxonomy parameters: a bad spec
-        # should be rejected here, not quarantine every replica later.
+        if isinstance(self.net_fault_split, Mapping):
+            object.__setattr__(
+                self,
+                "net_fault_split",
+                tuple(
+                    sorted(
+                        (str(k), float(v)) for k, v in self.net_fault_split.items()
+                    )
+                ),
+            )
+        else:
+            object.__setattr__(
+                self,
+                "net_fault_split",
+                tuple(sorted((str(k), float(v)) for k, v in self.net_fault_split)),
+            )
+        if self.net_link_mtbf_s < 0:
+            raise ValueError(
+                f"net_link_mtbf_s must be >= 0, got {self.net_link_mtbf_s}"
+            )
+        if self.net_topology not in ("full", "torus", "fattree"):
+            raise ValueError(
+                f"net_topology must be 'full', 'torus' or 'fattree', "
+                f"got {self.net_topology!r}"
+            )
+        # Fail fast on an invalid mix / taxonomy parameters / topology: a
+        # bad spec should be rejected here, not quarantine every replica
+        # later.
+        self.build_topology()
         self.fault_model()
 
+    def build_topology(self):
+        """The rank-level interconnect of this grid point's replicas."""
+        if self.net_topology == "torus":
+            # Nearest-to-square 2-D factoring; primes degrade to a ring.
+            d = next(
+                k
+                for k in range(math.isqrt(self.nranks), 0, -1)
+                if self.nranks % k == 0
+            )
+            return Torus((d, self.nranks // d))
+        if self.net_topology == "fattree":
+            per_edge = max(2, self.nranks // 4)
+            return TwoStageFatTree(
+                self.nranks,
+                nodes_per_edge=per_edge,
+                uplinks_per_edge=max(1, per_edge // 2),
+            )
+        return FullyConnected(self.nranks)
+
     def fault_model(self) -> FaultModel:
-        """The (validated) failure process of this grid point."""
-        return FaultModel(
+        """The (validated) failure process of this grid point.
+
+        With ``net_link_mtbf_s`` set, the per-link failure stream is
+        superposed onto the node stream
+        (:func:`~repro.core.fault_injection.fold_link_rate`): the
+        effective MTBF and kind weights shift so network faults arrive
+        at ``nlinks / link_mtbf`` while the configured mix keeps its
+        relative shares.
+        """
+        model = FaultModel(
             node_mtbf_s=self.node_mtbf_s,
             software_fraction=self.software_fraction,
             kind_weights=dict(self.fault_mix) if self.fault_mix else None,
@@ -124,7 +196,19 @@ class CampaignSpec:
             straggler_slowdown=self.straggler_slowdown,
             straggler_repair_s=self.straggler_repair_s,
             burst_size=self.burst_size,
+            net_degrade_factor=self.net_degrade_factor,
+            net_loss_prob=self.net_loss_prob,
+            net_repair_s=self.net_repair_s,
         )
+        if self.net_link_mtbf_s > 0:
+            model = fold_link_rate(
+                model,
+                nnodes=self.nnodes,
+                nlinks=link_count(self.build_topology()),
+                link_mtbf_s=self.net_link_mtbf_s,
+                split=self.net_fault_split or None,
+            )
+        return model
 
     @property
     def work_s(self) -> float:
@@ -183,7 +267,7 @@ def build_campaign_simulator(
     """Assemble one replica's simulator (pure function of its inputs)."""
     arch = ArchBEO(
         "campaign",
-        topology=FullyConnected(spec.nranks),
+        topology=spec.build_topology(),
         cores_per_node=max(1, spec.nranks // spec.nnodes),
     )
     arch.bind("work", ConstantModel(spec.compute_s))
@@ -232,6 +316,7 @@ _REPLICA_KEYS = frozenset(
         "fault_log",
         "fault_kinds",
         "sdc",
+        "net",
         "wrong_result",
     }
 )
@@ -327,6 +412,14 @@ def _run_replica(payload: tuple) -> dict:
             "corrected": res.sdc_corrected,
             "undetected": res.sdc_undetected,
             "detect_latency_s": res.sdc_detect_latency_s,
+        },
+        "net": {
+            "faults": res.net_faults,
+            "repairs": res.net_repairs,
+            "partition_stalls": res.net_partition_stalls,
+            "degraded_commits": res.net_degraded_commits,
+            "reroutes": res.net_reroutes,
+            "retransmits": res.net_retransmits,
         },
         "wrong_result": res.wrong_result,
         # Extra key (not in _REPLICA_KEYS): feeds the heartbeat's
@@ -451,6 +544,7 @@ class CampaignPointReport:
     youngdaly: dict                      #: analytical cross-check
     fault_kinds: dict = field(default_factory=dict)  #: kind -> injected, summed
     sdc: dict = field(default_factory=dict)  #: injected/detected/corrected/undetected sums
+    net: dict = field(default_factory=dict)  #: network fault-domain sums
     wrong_results: int = 0               #: completed replicas carrying undetected SDC
     replicas: list = field(default_factory=list, repr=False)
 
@@ -476,6 +570,7 @@ class CampaignPointReport:
             "youngdaly": self.youngdaly,
             "fault_kinds": self.fault_kinds,
             "sdc": self.sdc,
+            "net": self.net,
             "wrong_results": self.wrong_results,
         }
         return d
@@ -605,6 +700,14 @@ def aggregate_point(
         "undetected": 0,
         "detect_latency_s": 0.0,
     }
+    net_totals = {
+        "faults": 0,
+        "repairs": 0,
+        "partition_stalls": 0,
+        "degraded_commits": 0,
+        "reroutes": 0,
+        "retransmits": 0.0,
+    }
     wrong_results = 0
     for r in replicas:
         for kind, n in r.get("fault_kinds", {}).items():
@@ -612,6 +715,9 @@ def aggregate_point(
         for key, v in r.get("sdc", {}).items():
             if key in sdc_totals:
                 sdc_totals[key] += v
+        for key, v in r.get("net", {}).items():
+            if key in net_totals:
+                net_totals[key] += v
         if r.get("wrong_result"):
             wrong_results += 1
     return CampaignPointReport(
@@ -631,6 +737,7 @@ def aggregate_point(
         youngdaly=_youngdaly_check(spec, replicas),
         fault_kinds=dict(sorted(fault_kinds.items())),
         sdc=sdc_totals,
+        net=net_totals,
         wrong_results=wrong_results,
         replicas=replicas,
     )

@@ -20,7 +20,19 @@ one of five kinds from a validated kind-weight mapping:
 * ``"straggler"`` — a degraded node: a persistent slowdown factor on the
   victim's compute clock until repair,
 * ``"burst"`` — a spatially correlated failure: one draw fells a whole
-  topology neighborhood of nodes at once.
+  topology neighborhood of nodes at once,
+* ``"link"`` — a network link goes out of service: traffic reroutes over
+  surviving paths (hop inflation), pairs with no surviving path are
+  partitioned,
+* ``"switch"`` — a switch/router dies: the victim endpoint loses *every*
+  incident link (network-isolated while its node keeps computing),
+* ``"netdeg"`` — a degraded link: bandwidth de-rated and/or transiently
+  lossy (retransmission delay) until repair.
+
+The three network kinds mutate the topology's
+:class:`~repro.network.health.NetworkHealth` overlay instead of felling
+compute endpoints; :func:`fold_link_rate` converts a per-link MTBF into
+the combined system rate and kind mix.
 
 :class:`RecoveryPolicy` configures the simulator's fault-lifecycle
 realism: read-back verification failures (checkpoint corruption / SDC),
@@ -42,8 +54,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: every fault kind the taxonomy knows, in canonical draw order (the
 #: order fixes the cumulative-weight walk, keeping draws deterministic
-#: under any input ordering of the mapping)
-FAULT_KINDS = ("software", "node", "sdc", "straggler", "burst")
+#: under any input ordering of the mapping; new kinds append at the END
+#: so existing mixes keep their draw streams)
+FAULT_KINDS = ("software", "node", "sdc", "straggler", "burst", "link", "switch", "netdeg")
+
+#: how a folded-in network failure rate splits across the network kinds:
+#: mostly link failures, occasional switch deaths, a steady trickle of
+#: degraded links (cable/optics de-rate before they die)
+NET_KIND_SPLIT = (("link", 0.6), ("switch", 0.1), ("netdeg", 0.3))
 
 
 @dataclass(frozen=True)
@@ -62,6 +80,12 @@ class FaultDetail:
       strikes are invisible to every detector.
     * ``correctable`` — a covered strike within ABFT's single-element
       correction capability (fixed in place, no rollback needed).
+    * ``edge`` — the (a, b) link victim of a ``link``/``netdeg`` fault;
+      empty = the simulator picks a link incident to the struck node
+      deterministically.  ``repair_s`` doubles as the network repair
+      delay for the three network kinds.
+    * ``derate`` / ``loss_prob`` — a ``netdeg`` link's bandwidth de-rate
+      factor (>= 1) and transient message-loss probability.
     """
 
     victims: tuple[int, ...] = ()
@@ -69,6 +93,9 @@ class FaultDetail:
     repair_s: float = 0.0
     covered: bool = True
     correctable: bool = True
+    edge: tuple[int, ...] = ()
+    derate: float = 1.0
+    loss_prob: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -103,6 +130,12 @@ class FaultModel:
         (``<= 0`` repair = degraded until job end).
     burst_size:
         Nodes felled per correlated burst (capped at the live count).
+    net_degrade_factor / net_loss_prob:
+        A ``netdeg`` fault's bandwidth de-rate (>= 1) and message-loss
+        probability (in [0, 1)).
+    net_repair_s:
+        Time until a failed/degraded link or dead switch is repaired
+        (``<= 0`` = out of service until job end or requeue).
     """
 
     node_mtbf_s: float
@@ -115,6 +148,9 @@ class FaultModel:
     straggler_slowdown: float = 2.0
     straggler_repair_s: float = 30.0
     burst_size: int = 3
+    net_degrade_factor: float = 4.0
+    net_loss_prob: float = 0.05
+    net_repair_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.node_mtbf_s <= 0:
@@ -141,6 +177,14 @@ class FaultModel:
             )
         if self.burst_size < 1:
             raise ValueError(f"burst_size must be >= 1, got {self.burst_size}")
+        if self.net_degrade_factor < 1.0:
+            raise ValueError(
+                f"net_degrade_factor must be >= 1, got {self.net_degrade_factor}"
+            )
+        if not 0.0 <= self.net_loss_prob < 1.0:
+            raise ValueError(
+                f"net_loss_prob must be in [0, 1), got {self.net_loss_prob}"
+            )
         # Freeze the validated, canonically-ordered weight table once.
         object.__setattr__(
             self, "_weights", self._validated_weights(self.kind_weights)
@@ -210,6 +254,17 @@ class FaultModel:
             )
         if kind == "burst":
             return FaultDetail(victims=self.burst_victims(node, live, topology))
+        if kind in ("link", "switch"):
+            # The victim edge is resolved by the simulator from its own
+            # engine-seeded rng: edge choice depends on the simulator's
+            # endpoint mapping, which the injector doesn't know.
+            return FaultDetail(repair_s=self.net_repair_s)
+        if kind == "netdeg":
+            return FaultDetail(
+                repair_s=self.net_repair_s,
+                derate=self.net_degrade_factor,
+                loss_prob=self.net_loss_prob,
+            )
         return FaultDetail()
 
     def burst_victims(
@@ -255,6 +310,52 @@ class FaultModel:
 
         lam = mtbf / gamma(1 + 1 / k)
         return float(lam * rng.weibull(k))
+
+
+def fold_link_rate(
+    model: FaultModel,
+    nnodes: int,
+    nlinks: int,
+    link_mtbf_s: float,
+    split: Optional[tuple[tuple[str, float], ...]] = None,
+) -> FaultModel:
+    """Fold a per-link failure process into *model*'s system-wide stream.
+
+    The injector draws one superposed system failure stream whose rate is
+    ``nnodes / node_mtbf_s``.  Network faults add an independent stream of
+    rate ``nlinks / link_mtbf_s``; superposing them means re-deriving an
+    effective per-node MTBF so the combined rate is right, then giving the
+    network kinds their probability share ``link_rate / total_rate``
+    (distributed over *split*, default :data:`NET_KIND_SPLIT`) while the
+    existing kinds keep their relative mix.
+
+    Returns a new :class:`FaultModel`; *model* is unchanged.
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    if nlinks < 1:
+        raise ValueError(f"nlinks must be >= 1, got {nlinks}")
+    if link_mtbf_s <= 0:
+        raise ValueError(f"link_mtbf_s must be > 0, got {link_mtbf_s}")
+    if split is None:
+        split = NET_KIND_SPLIT
+    split = tuple((str(k), float(w)) for k, w in split)
+    if abs(sum(w for _, w in split) - 1.0) > 1e-6:
+        raise ValueError(f"net kind split must sum to 1, got {dict(split)}")
+    unknown = sorted(set(k for k, _ in split) - {"link", "switch", "netdeg"})
+    if unknown:
+        raise ValueError(f"net kind split names non-network kinds {unknown}")
+    node_rate = nnodes / model.node_mtbf_s
+    link_rate = nlinks / link_mtbf_s
+    total = node_rate + link_rate
+    p_net = link_rate / total
+    weights = {k: w * (1.0 - p_net) for k, w in model.weights.items()}
+    for kind, w in split:
+        if w > 0.0:
+            weights[kind] = weights.get(kind, 0.0) + w * p_net
+    return replace(
+        model, node_mtbf_s=nnodes / total, kind_weights=weights
+    )
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,19 @@ end-to-end:
   already-priced batch keeps its price).
 * ``"burst"`` — a correlated failure: every node in the drawn
   neighborhood fails at once (fail-stop semantics, L2+ recovery).
+
+The network fault domain (``"link"``/``"switch"``/``"netdeg"``) mutates
+the topology's :class:`~repro.network.health.NetworkHealth` overlay
+instead of felling compute endpoints: traffic reroutes over surviving
+paths (the LogGP model prices hop inflation, de-rated bandwidth and
+retransmission delay transparently), L2/partner-copy checkpoint traffic
+pays the degraded-network cost, and when the participant set is
+*partitioned* the job cannot rendezvous — recovery attempts stall
+(bounded by the episode's attempt budget) until a repair restores
+connectivity or the ladder escalates into requeue/abort.  A checkpoint
+whose partner copy cannot cross a partition commits at an *effective*
+level of 1 (local-only protection) and is counted in
+``net_degraded_commits``.
 """
 
 from __future__ import annotations
@@ -150,6 +163,12 @@ class SimulationResult:
     sdc_undetected: int = 0         #: strikes still latent at the end of the run
     wrong_result: bool = False      #: job "completed" but carries undetected SDC
     sdc_detect_latency_s: float = 0.0  #: summed injection→detection latency
+    net_faults: int = 0             #: link/switch/netdeg faults applied to the overlay
+    net_repairs: int = 0            #: network repairs that restored service
+    net_partition_stalls: int = 0   #: recovery attempts stalled by a partitioned group
+    net_degraded_commits: int = 0   #: L2+ checkpoints degraded to L1 (partner unreachable)
+    net_reroutes: int = 0           #: messages priced over a detour route
+    net_retransmits: float = 0.0    #: expected retransmissions on lossy routes
 
     @property
     def ft_overhead_fraction(self) -> float:
@@ -297,6 +316,14 @@ class _Rank(Component):
                 dt = slow * self.sim.archbeo.predict(
                     instr.kernel, instr.param_dict(), self._model_rng()
                 )
+                if (
+                    isinstance(instr, Checkpoint)
+                    and instr.level >= 2
+                    and self.sim._net_active
+                ):
+                    # L2/partner-copy traffic crosses the (possibly
+                    # degraded) fabric and pays the real network cost.
+                    dt *= self.sim._net_ckpt_factor(self.rank)
             elif isinstance(instr, Exchange):
                 dt = self.sim.archbeo.exchange_time(instr)
             elif isinstance(instr, Marker):
@@ -340,13 +367,15 @@ class _Rank(Component):
                 )
             if isinstance(instr, Checkpoint):
                 # Restart point: resume AFTER this checkpoint instruction.
+                # The recorded level is the protection actually achieved
+                # (a partitioned partner degrades an L2+ write to L1).
                 self.ckpt_seq += 1
                 self.restart_history[self.ckpt_seq] = (
                     base + i + 1,
                     self.collective_calls,
                     t_start + off + dt,
                     dt,
-                    instr.level,
+                    self.sim._effective_ckpt_level(self.rank, instr.level),
                 )
                 stale = self.ckpt_seq - 6
                 if stale > 0:
@@ -443,8 +472,17 @@ class _RecoveryEpisode:
     avoid_corrupt: bool = False
 
 
-#: fault-kind severity ordering for nested-fault merging
-_KIND_SEVERITY = {"software": 0, "sdc": 1, "node": 2, "burst": 3}
+#: fault-kind severity ordering for nested-fault merging (network kinds
+#: leave node storage intact, so they rank with the mild kinds)
+_KIND_SEVERITY = {
+    "software": 0,
+    "netdeg": 0,
+    "sdc": 1,
+    "link": 1,
+    "switch": 1,
+    "node": 2,
+    "burst": 3,
+}
 
 
 class BESSTSimulator:
@@ -544,6 +582,22 @@ class BESSTSimulator:
         self.sdc_detected = 0
         self.sdc_corrected = 0
         self.sdc_detect_latency_s = 0.0
+        # network fault-domain state
+        self._net_rng = self.engine.rngs.get("__net__")
+        #: ("node", endpoint) / ("edge", (a, b)) -> generation token
+        #: guarding stale network-repair events
+        self._net_token: dict[tuple, int] = {}
+        #: fast gate for the hot checkpoint-pricing path: True while any
+        #: overlay mutation from this fault domain may be active
+        self._net_active = False
+        self.net_faults = 0
+        self.net_repairs = 0
+        self.net_partition_stalls = 0
+        self.net_degraded_commits = 0
+        #: LogGP reroute/retransmit stats at construction — the model may
+        #: be shared across simulators, so run() reports the delta
+        p2p = getattr(getattr(archbeo, "comm", None), "p2p", None)
+        self._net_stats_base = dict(getattr(p2p, "stats", None) or {})
 
         program0 = self.appbeo.build(0, nranks, self.params)
         for r in range(nranks):
@@ -564,8 +618,18 @@ class BESSTSimulator:
     #: kind: software/transient crashes leave node storage intact (any
     #: level), node losses and correlated bursts need partner/RS/PFS
     #: protection (Table I); detected SDC restores from any level — the
-    #: data on disk is intact, it just has to be a *clean* version
-    MIN_LEVEL_FOR_KIND = {"software": 1, "sdc": 1, "node": 2, "burst": 2}
+    #: data on disk is intact, it just has to be a *clean* version.
+    #: Network faults never touch storage, so any level recovers once
+    #: connectivity is back.
+    MIN_LEVEL_FOR_KIND = {
+        "software": 1,
+        "sdc": 1,
+        "node": 2,
+        "burst": 2,
+        "link": 1,
+        "switch": 1,
+        "netdeg": 1,
+    }
 
     @property
     def wasted_time(self) -> float:
@@ -624,7 +688,12 @@ class BESSTSimulator:
             # during the resubmission window do not hit it.
             return
         if detail is None:
-            detail = FaultDetail(victims=(node,), slowdown=2.0)
+            if kind == "netdeg":
+                detail = FaultDetail(repair_s=30.0, derate=4.0, loss_prob=0.05)
+            elif kind in ("link", "switch"):
+                detail = FaultDetail(repair_s=30.0)
+            else:
+                detail = FaultDetail(victims=(node,), slowdown=2.0)
         if event is None:
             event = FaultEvent(
                 self.engine.now,
@@ -642,9 +711,16 @@ class BESSTSimulator:
         if kind == "sdc":
             self._arm_sdc(node, detail, event)
             return
+        if kind in ("link", "switch", "netdeg"):
+            self._apply_net_fault(node, kind, detail, event)
+            return
         now = self.engine.now
         for victim in detail.victims if kind == "burst" else (node,):
             self._handle_torn(now, victim)
+        self._enter_recovery(kind, now)
+
+    def _enter_recovery(self, kind: str, now: float) -> None:
+        """Pause the whole job and enter (or re-enter) a recovery episode."""
         # Pause the whole job: collectives, batches, pending resumes.
         self.sync.reset(self.engine)
         for rank in self._ranks:
@@ -702,6 +778,206 @@ class BESSTSimulator:
         if self._straggler_token.get(node) != token:
             return  # a newer degradation superseded this repair
         self._node_slowdown.pop(node, None)
+
+    # -- network fault domain ----------------------------------------------------------
+
+    def _net_endpoints_of_node(self, node: int) -> list[int]:
+        """Topology endpoints owned by compute node *node*.
+
+        Two conventions coexist: when the topology spans exactly the
+        rank count it is a rank-level network (endpoints = the node's
+        ranks); otherwise it is a node-level network (endpoint = the
+        node id, when in range).
+        """
+        topo = self.archbeo.topology
+        if topo.num_nodes == self.nranks:
+            cpn = max(1, self.archbeo.cores_per_node)
+            return [
+                r for r in range(node * cpn, (node + 1) * cpn) if r < self.nranks
+            ]
+        return [node] if node < topo.num_nodes else []
+
+    def _net_participants(self) -> list[int]:
+        """Every topology endpoint the job's ranks live on — the set
+        that must rendezvous for collectives and checkpoint commits."""
+        topo = self.archbeo.topology
+        if topo.num_nodes == self.nranks:
+            return list(range(self.nranks))
+        return sorted(
+            {
+                self.archbeo.node_of_rank(r)
+                for r in range(self.nranks)
+                if self.archbeo.node_of_rank(r) < topo.num_nodes
+            }
+        )
+
+    def _net_draw_edge(self, node: int) -> Optional[tuple[int, int]]:
+        """Deterministically pick the victim link of a fault seeded at
+        *node*: a uniform draw (engine-seeded ``__net__`` stream) over
+        the sorted baseline neighbours of the node's first endpoint."""
+        topo = self.archbeo.topology
+        eps = self._net_endpoints_of_node(node)
+        ep = eps[0] if eps else int(self._net_rng.integers(0, topo.num_nodes))
+        nbrs = sorted(topo.neighbors(ep))
+        if not nbrs:
+            return None
+        peer = int(nbrs[int(self._net_rng.integers(0, len(nbrs)))])
+        return (min(ep, peer), max(ep, peer))
+
+    def _apply_net_fault(
+        self, node: int, kind: str, detail: FaultDetail, event: FaultEvent
+    ) -> None:
+        """Mutate the health overlay for one network fault and schedule
+        its repair; enter recovery when the job is partitioned."""
+        now = self.engine.now
+        h = self.archbeo.topology.health()
+        victims: list[tuple] = []
+        if kind == "switch":
+            eps = self._net_endpoints_of_node(node)
+            if not eps:
+                event.outcome = "no_effect"
+                return
+            for ep in eps:
+                h.fail_node(ep)
+                victims.append(("node", ep))
+        else:
+            edge = tuple(int(e) for e in detail.edge) or self._net_draw_edge(node)
+            if edge is None:
+                event.outcome = "no_effect"  # e.g. single-endpoint topology
+                return
+            if kind == "link":
+                h.fail_link(*edge)
+            else:
+                h.degrade_link(
+                    edge[0],
+                    edge[1],
+                    derate=detail.derate,
+                    loss_prob=detail.loss_prob,
+                )
+            victims.append(("edge", edge))
+        self._net_active = True
+        self.net_faults += 1
+        if detail.repair_s > 0:
+            for victim in victims:
+                # Token-guarded like straggler repairs: a newer fault on
+                # the same link/endpoint outdates this repair.
+                token = self._net_token.get(victim, 0) + 1
+                self._net_token[victim] = token
+                self.engine.schedule(
+                    detail.repair_s, self._net_repaired, payload=(victim, token)
+                )
+        self._net_update_gauges(h)
+        # Degradations never partition; hard failures may cut the
+        # participant set in two — then the job cannot rendezvous and
+        # the existing escalation ladder takes over.
+        if kind in ("link", "switch") and h.group_partitioned(
+            self._net_participants()
+        ):
+            self.net_partition_stalls += 1
+            self._record_net_stall()
+            event.outcome = "partitioned"
+            self._enter_recovery(kind, now)
+
+    def _net_repaired(self, ev: Event) -> None:
+        victim, token = ev.payload
+        if self._net_token.get(victim) != token:
+            return  # a newer fault on the same victim superseded this repair
+        h = self.archbeo.topology._health
+        if h is None:
+            return
+        vtype, vid = victim
+        if vtype == "node":
+            h.repair_node(vid)
+        else:
+            h.repair_link(*vid)
+        self.net_repairs += 1
+        if h.healthy:
+            self._net_active = False
+        self._net_update_gauges(h)
+
+    def _net_blocked(self) -> bool:
+        """True while the participant set cannot rendezvous (resuming
+        from recovery would hang on the first collective)."""
+        h = self.archbeo.topology._health
+        if h is None or h.healthy:
+            return False
+        return h.group_partitioned(self._net_participants())
+
+    def _net_partner(self, rank: int) -> tuple[int, int]:
+        """(src, dst) endpoints of *rank*'s partner-copy checkpoint
+        traffic (next node over, FTI L2 partner semantics)."""
+        topo = self.archbeo.topology
+        if topo.num_nodes == self.nranks:
+            cpn = max(1, self.archbeo.cores_per_node)
+            return rank, (rank + cpn) % self.nranks
+        src = self.archbeo.node_of_rank(rank)
+        if src >= topo.num_nodes:
+            return src, src
+        return src, (src + 1) % topo.num_nodes
+
+    def _net_ckpt_factor(self, rank: int) -> float:
+        """Degraded-network cost multiplier for one rank's L2+ checkpoint
+        write (the partner copy crosses the faulty fabric)."""
+        h = self.archbeo.topology._health
+        if h is None or h.healthy:
+            return 1.0
+        src, dst = self._net_partner(rank)
+        if src == dst or h.is_partitioned(src, dst):
+            # Unreachable partner: the copy is skipped, not slowed — the
+            # commit degrades to an effective L1 instead (_on_batch_done).
+            return 1.0
+        p2p = getattr(getattr(self.archbeo, "comm", None), "p2p", None)
+        if p2p is None or not hasattr(p2p, "p2p_penalty"):
+            return 1.0
+        return max(1.0, float(p2p.p2p_penalty(src, dst)))
+
+    def _effective_ckpt_level(self, rank: int, level: int) -> int:
+        """The protection level a checkpoint commit actually achieved:
+        an L2+ instance whose partner copy cannot cross a partition
+        degrades to node-local (level 1) protection."""
+        if level < 2 or not self._net_active:
+            return level
+        h = self.archbeo.topology._health
+        if h is None or h.healthy:
+            return level
+        src, dst = self._net_partner(rank)
+        if src != dst and h.is_partitioned(src, dst):
+            self.net_degraded_commits += 1
+            return 1
+        return level
+
+    def _net_reset(self) -> None:
+        """Back to a healthy fabric (requeued onto a repaired machine)."""
+        self._net_token.clear()
+        self._net_active = False
+        h = self.archbeo.topology._health
+        if h is not None and not h.healthy:
+            h.reset()
+            self._net_update_gauges(h)
+
+    def _net_update_gauges(self, h) -> None:
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        reg.gauge(
+            "net_links_failed", help="Links currently out of service."
+        ).set(float(len(h.failed_links)))
+        reg.gauge(
+            "net_links_degraded", help="Links currently de-rated or lossy."
+        ).set(float(len(h.degraded)))
+        _stretch, derate, _loss = h.aggregate_penalty()
+        reg.gauge(
+            "net_bandwidth_derate",
+            help="Worst active bandwidth de-rate factor (1 = full speed).",
+        ).set(float(derate))
+
+    def _record_net_stall(self) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "net_partition_stalls_total",
+            help="Recovery attempts stalled by a partitioned participant set.",
+        ).inc()
 
     # -- silent data corruption --------------------------------------------------------
 
@@ -941,6 +1217,18 @@ class BESSTSimulator:
             or self.policy.verify_fail_prob <= 0.0
             or float(self._recovery_rng.random()) >= self.policy.verify_fail_prob
         )
+        if ok and self._net_blocked():
+            # The data verified, but the participant set is still
+            # partitioned: resuming would hang on the first rendezvous.
+            # Stall in recovery (one attempt consumed — the episode's
+            # attempt budget bounds the wait) until a repair restores
+            # connectivity or the job requeues onto a healthy fabric.
+            self.net_partition_stalls += 1
+            self._record_net_stall()
+            for rank in self._ranks:
+                rank.pause()
+            self._start_attempt()
+            return
         if ok:
             # Checkpoints discarded by the rollback may get their sequence
             # numbers reused; drop their stale torn- and corrupt-markers.
@@ -989,8 +1277,10 @@ class BESSTSimulator:
         self._invalid_seqs.clear()
         self._corrupt_seqs.clear()
         self._clear_latent_sdc("erased")
-        # The repaired allocation has no degraded nodes either.
+        # The repaired allocation has no degraded nodes either, and its
+        # fabric is healthy.
         self._node_slowdown.clear()
+        self._net_reset()
         if self.fault_injector is not None:
             self.fault_injector.notify_requeue()
         for rank in self._ranks:
@@ -1093,6 +1383,19 @@ class BESSTSimulator:
         wrong_result = (not self._aborted) and sdc_undetected > 0
         if wrong_result:
             self._record_wrong_result()
+        # LogGP reroute/retransmit accounting: the model may be shared
+        # across simulators, so report the delta against construction.
+        p2p = getattr(getattr(self.archbeo, "comm", None), "p2p", None)
+        stats = getattr(p2p, "stats", None) or {}
+        net_reroutes = int(
+            stats.get("reroutes", 0.0) - self._net_stats_base.get("reroutes", 0.0)
+        )
+        net_retransmits = float(
+            stats.get("retransmits", 0.0)
+            - self._net_stats_base.get("retransmits", 0.0)
+        )
+        if net_reroutes or net_retransmits:
+            self._record_net_traffic(net_reroutes, net_retransmits)
         self._result = SimulationResult(
             total_time=(
                 self._abort_time
@@ -1129,8 +1432,29 @@ class BESSTSimulator:
             sdc_undetected=sdc_undetected,
             wrong_result=wrong_result,
             sdc_detect_latency_s=self.sdc_detect_latency_s,
+            net_faults=self.net_faults,
+            net_repairs=self.net_repairs,
+            net_partition_stalls=self.net_partition_stalls,
+            net_degraded_commits=self.net_degraded_commits,
+            net_reroutes=net_reroutes,
+            net_retransmits=net_retransmits,
         )
         return self._result
+
+    def _record_net_traffic(self, reroutes: int, retransmits: float) -> None:
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        if reroutes:
+            reg.counter(
+                "net_reroutes_total",
+                help="Messages priced over a detour around a network fault.",
+            ).inc(reroutes)
+        if retransmits:
+            reg.counter(
+                "net_retransmits_total",
+                help="Expected retransmissions on lossy (degraded) routes.",
+            ).inc(retransmits)
 
     def _record_wrong_result(self) -> None:
         from repro.obs.metrics import get_registry

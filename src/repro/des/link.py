@@ -14,6 +14,10 @@ from repro.des.component import Port
 from repro.des.event import PRIORITY_NORMAL, Event
 
 
+class LinkDownError(RuntimeError):
+    """A payload was offered to a link that has failed."""
+
+
 class _Delivery:
     """Arrival handler for one in-flight payload.
 
@@ -50,11 +54,22 @@ class Link:
         parallel simulation requires non-zero lookahead).
     name:
         Optional label for tracing.
+    on_fail:
+        What :meth:`deliver` does while the link is failed: ``"raise"``
+        (default) raises :class:`LinkDownError`, ``"drop"`` silently
+        discards the payload and returns None.  Either way the behaviour
+        is deterministic; payloads already in flight when :meth:`fail`
+        is called still arrive (the bits left the failed segment before
+        it went down).
     """
 
-    def __init__(self, a: Port, b: Port, latency: float, name: str = "") -> None:
+    def __init__(
+        self, a: Port, b: Port, latency: float, name: str = "", on_fail: str = "raise"
+    ) -> None:
         if latency <= 0.0:
             raise ValueError(f"link latency must be > 0, got {latency!r}")
+        if on_fail not in ("raise", "drop"):
+            raise ValueError(f"on_fail must be 'raise' or 'drop', got {on_fail!r}")
         if a.link is not None or b.link is not None:
             raise ValueError("port already connected to a link")
         if a.component.engine is None or b.component.engine is None:
@@ -65,9 +80,20 @@ class Link:
         self.b = b
         self.latency = float(latency)
         self.name = name or f"{a.component.name}.{a.name}<->{b.component.name}.{b.name}"
+        self.on_fail = on_fail
+        self.failed = False
         a.link = self
         b.link = self
         a.component.engine._register_link(self)
+
+    def fail(self) -> None:
+        """Take the link down.  In-flight deliveries still arrive; new
+        :meth:`deliver` calls raise or drop per ``on_fail``."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring the link back into service."""
+        self.failed = False
 
     def other(self, port: Port) -> Port:
         """The opposite endpoint of *port*."""
@@ -77,10 +103,20 @@ class Link:
             return self.a
         raise ValueError(f"{port!r} is not an endpoint of {self.name}")
 
-    def deliver(self, from_port: Port, payload: Any, extra_delay: float = 0.0) -> Event:
-        """Schedule delivery of *payload* from *from_port* to its peer."""
+    def deliver(
+        self, from_port: Port, payload: Any, extra_delay: float = 0.0
+    ) -> Event | None:
+        """Schedule delivery of *payload* from *from_port* to its peer.
+
+        Raises :class:`LinkDownError` (or returns None with
+        ``on_fail="drop"``) while the link is failed.
+        """
         if extra_delay < 0:
             raise ValueError(f"negative extra_delay {extra_delay!r}")
+        if self.failed:
+            if self.on_fail == "drop":
+                return None
+            raise LinkDownError(f"link {self.name} is down")
         dst_port = self.other(from_port)
         dst_comp = dst_port.component
         engine = from_port.component.engine

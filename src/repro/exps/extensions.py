@@ -727,3 +727,172 @@ def format_ext8(rows: list[SDCVerifyRow]) -> str:
         f"{ext8_analytic_period():.1f} timesteps between verifications"
     )
     return "\n".join(lines)
+
+
+#: EXT9 network fault mix: hard link failures and degraded/lossy links in
+#: equal measure (switch deaths excluded — on the small study torus a
+#: dead switch partitions its ranks and the run measures stall policy,
+#: not fabric slowdown)
+EXT9_NET_SPLIT = (("link", 0.5), ("netdeg", 0.5))
+
+
+@dataclass
+class NetFaultRow:
+    link_mtbf_s: float          #: per-link MTBF swept by the DSE
+    ckpt_period: int
+    baseline_total: float       #: fault-free runtime of the same spec
+    mean_total: float
+    slowdown: float             #: mean_total / baseline_total
+    analytic_slowdown: float    #: closed-form expectation (netavail)
+    net_faults: float           #: mean network faults per run
+    net_repairs: float
+    partition_stalls: float
+    retransmits: float          #: mean expected retransmissions per run
+
+
+def _ext9_spec(link_mtbf_s: float, ckpt_period: int, timesteps: int):
+    from repro.core.campaign import CampaignSpec
+
+    # Bandwidth-heavy allreduces on a torus make fabric degradation the
+    # dominant cost; node faults are switched off (MTBF >> run length)
+    # so the sweep isolates the network domain.
+    return CampaignSpec(
+        node_mtbf_s=1e9,
+        ckpt_period=ckpt_period,
+        nranks=16,
+        nnodes=8,
+        timesteps=timesteps,
+        compute_s=0.05,
+        allreduce_bytes=1 << 26,
+        net_topology="torus",
+        net_link_mtbf_s=link_mtbf_s,
+        net_repair_s=1.0,
+        net_fault_split=EXT9_NET_SPLIT,
+    )
+
+
+def ext9_analytic_slowdown(
+    link_mtbf_s: float, ckpt_period: int, timesteps: int, baseline_total: float
+) -> float:
+    """Closed-form expected slowdown for one EXT9 sweep point.
+
+    Degradations are active a stationary fraction of wall time
+    (:func:`~repro.analytical.netavail.active_probability` of the
+    netdeg arrival stream); while active, each timestep's communication
+    share inflates by the full degraded-collective ratio
+    (:func:`~repro.analytical.netavail.degraded_collective_inflation`);
+    and the two regimes compose time-shared
+    (:func:`~repro.analytical.netavail.time_shared_slowdown` — the
+    harmonic form, since degraded windows cover fewer timesteps exactly
+    because each is slower).  Hard link failures only stretch the
+    latency term, negligible for these bandwidth-dominated allreduces.
+    """
+    from repro.analytical.netavail import (
+        active_probability,
+        degraded_collective_inflation,
+        time_shared_slowdown,
+    )
+    from repro.network.health import link_count
+
+    spec = _ext9_spec(link_mtbf_s, ckpt_period, timesteps)
+    topo = spec.build_topology()
+    netdeg_rate = (
+        link_count(topo) / link_mtbf_s * dict(EXT9_NET_SPLIT).get("netdeg", 0.0)
+    )
+    f = active_probability(netdeg_rate, spec.net_repair_s)
+    coll_inflation = degraded_collective_inflation(
+        topo,
+        spec.allreduce_bytes,
+        degrade_factor=spec.net_degrade_factor,
+        loss_prob=spec.net_loss_prob,
+    )
+    serial = timesteps * spec.compute_s + (
+        timesteps // ckpt_period
+    ) * spec.ckpt_cost_s
+    comm_fraction = max(0.0, 1.0 - serial / baseline_total)
+    ts_inflation = 1.0 + comm_fraction * (coll_inflation - 1.0)
+    return time_shared_slowdown(f, ts_inflation)
+
+
+def network_fault_dse(
+    link_mtbfs: Sequence[float] = (8.0, 16.0, 48.0),
+    ckpt_periods: Sequence[int] = (5, 10),
+    timesteps: int = 40,
+    reps: int = 6,
+    seed: int = 0,
+) -> list[NetFaultRow]:
+    """EXT9 — link-MTBF x checkpoint-interval DSE on a degraded fabric.
+
+    Sweeps the per-link MTBF of a 4x4 torus under the
+    :data:`EXT9_NET_SPLIT` mix (hard link failures + de-rated/lossy
+    links) against the checkpoint cadence, and cross-checks the
+    simulated slowdown against the closed-form steady-state expectation
+    (:func:`ext9_analytic_slowdown`).  Faults here never kill ranks —
+    the cost is rerouted, de-rated, retransmitting communication — so
+    the slowdown isolates what the network fault domain adds on top of
+    fail-stop modeling.
+    """
+    from repro.core.campaign import CampaignSpec, build_campaign_simulator
+    from repro.core.fault_injection import RecoveryPolicy
+    from repro.core.montecarlo import derive_seeds
+
+    policy = RecoveryPolicy()
+    seeds = derive_seeds(seed, reps)
+    rows: list[NetFaultRow] = []
+    for period in ckpt_periods:
+        base_spec = _ext9_spec(link_mtbfs[0], period, timesteps)
+        base = build_campaign_simulator(
+            base_spec, int(seeds[0]), policy, inject=False
+        ).run(max_events=50_000_000)
+        for mtbf in link_mtbfs:
+            spec = _ext9_spec(mtbf, period, timesteps)
+            results = []
+            for s in seeds:
+                sim = build_campaign_simulator(spec, int(s), policy)
+                results.append(sim.run(max_events=50_000_000))
+            mean_total = float(np.mean([r.total_time for r in results]))
+            rows.append(
+                NetFaultRow(
+                    link_mtbf_s=float(mtbf),
+                    ckpt_period=period,
+                    baseline_total=base.total_time,
+                    mean_total=mean_total,
+                    slowdown=mean_total / base.total_time,
+                    analytic_slowdown=ext9_analytic_slowdown(
+                        mtbf, period, timesteps, base.total_time
+                    ),
+                    net_faults=float(np.mean([r.net_faults for r in results])),
+                    net_repairs=float(
+                        np.mean([r.net_repairs for r in results])
+                    ),
+                    partition_stalls=float(
+                        np.mean([r.net_partition_stalls for r in results])
+                    ),
+                    retransmits=float(
+                        np.mean([r.net_retransmits for r in results])
+                    ),
+                )
+            )
+    return rows
+
+
+def format_ext9(rows: list[NetFaultRow]) -> str:
+    lines = [
+        "EXT9 — network fault DSE (4x4 torus, link mix: "
+        + ", ".join(f"{k}={w:g}" for k, w in EXT9_NET_SPLIT)
+        + ")",
+        f"{'link MTBF':>10s}{'ckpt/ts':>9s}{'baseline':>10s}{'mean':>9s}"
+        f"{'slowdown':>10s}{'analytic':>10s}{'faults':>8s}{'stalls':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.link_mtbf_s:>9.0f}s{r.ckpt_period:>9d}"
+            f"{r.baseline_total:>9.2f}s{r.mean_total:>8.2f}s"
+            f"{r.slowdown:>9.2f}x{r.analytic_slowdown:>9.2f}x"
+            f"{r.net_faults:>8.1f}{r.partition_stalls:>8.1f}"
+        )
+    lines.append(
+        "slowdown is simulated mean over fault seeds; analytic is the "
+        "steady-state closed form (repro.analytical.netavail)"
+    )
+    return "\n".join(lines)

@@ -9,9 +9,10 @@ five-dimensional torus.  The BE layer and the virtual testbed consume
   collective costs parameterised on those hop counts.
 """
 
-from repro.network.topology import Topology, FullyConnected
+from repro.network.topology import Topology, FullyConnected, NodeRangeError
 from repro.network.fattree import TwoStageFatTree
 from repro.network.torus import Torus
+from repro.network.health import NetworkHealth, NetworkPartitionedError, link_count
 from repro.network.commmodel import LogGPModel, CollectiveCostModel
 
 __all__ = [
@@ -19,6 +20,10 @@ __all__ = [
     "FullyConnected",
     "TwoStageFatTree",
     "Torus",
+    "NodeRangeError",
+    "NetworkHealth",
+    "NetworkPartitionedError",
+    "link_count",
     "LogGPModel",
     "CollectiveCostModel",
 ]

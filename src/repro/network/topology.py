@@ -8,9 +8,22 @@ communication models layered on top.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.health import NetworkHealth
+
+
+class NodeRangeError(IndexError, ValueError):
+    """An endpoint id outside ``[0, num_nodes)`` was passed to a topology.
+
+    Subclasses both :class:`IndexError` (the historical contract of
+    ``hop_count``/``neighbors``) and :class:`ValueError` so either
+    expectation holds; the message always names the offending id and the
+    valid range.
+    """
 
 
 class Topology(abc.ABC):
@@ -24,10 +37,15 @@ class Topology(abc.ABC):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.num_nodes = int(num_nodes)
+        #: lazily created fault overlay; None while the network is
+        #: untouched, so fault-free pricing stays a single attribute check
+        self._health: "NetworkHealth | None" = None
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
-            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+            raise NodeRangeError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
 
     @abc.abstractmethod
     def hop_count(self, a: int, b: int) -> int:
@@ -62,6 +80,50 @@ class Topology(abc.ABC):
             for b in self.neighbors(a):
                 g.add_edge(a, b, weight=self.hop_count(a, b))
         return g
+
+    # -- fault overlay ---------------------------------------------------------
+
+    def health(self) -> "NetworkHealth":
+        """The mutable fault overlay, created on first use.
+
+        The structure itself stays immutable; failures, degradations and
+        repairs live in the overlay and are consumed by the communication
+        model (reroute pricing) and the simulator (partition handling).
+        """
+        if self._health is None:
+            from repro.network.health import NetworkHealth
+
+            self._health = NetworkHealth(self)
+        return self._health
+
+    # Convenience delegations so callers can mutate health directly on
+    # the topology (`topo.fail_link(a, b)`).
+
+    def fail_link(self, a: int, b: int) -> None:
+        self.health().fail_link(a, b)
+
+    def repair_link(self, a: int, b: int) -> None:
+        self.health().repair_link(a, b)
+
+    def degrade_link(
+        self, a: int, b: int, derate: float = 2.0, loss_prob: float = 0.0
+    ) -> None:
+        self.health().degrade_link(a, b, derate=derate, loss_prob=loss_prob)
+
+    def fail_node(self, node: int) -> None:
+        self.health().fail_node(node)
+
+    def repair_node(self, node: int) -> None:
+        self.health().repair_node(node)
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """True when the fault overlay has severed every a–b route
+        (always False while no overlay exists)."""
+        if self._health is None:
+            self._check_node(a)
+            self._check_node(b)
+            return False
+        return self._health.is_partitioned(a, b)
 
 
 class FullyConnected(Topology):

@@ -421,6 +421,9 @@ _NOTABLE_COUNTERS = {
     "guard_ladder_transitions_total": "degradation-ladder transition(s)",
     "guard_fsfaults_injected_total": "filesystem fault(s) injected",
     "guard_action_errors_total": "ladder stage action error(s)",
+    "net_reroutes_total": "message(s) priced over a detour route",
+    "net_retransmits_total": "expected retransmission(s) on lossy links",
+    "net_partition_stalls_total": "recovery stall(s) on a partitioned network",
 }
 
 

@@ -1,0 +1,107 @@
+"""Link failure semantics: in-flight delivery, raise/drop determinism."""
+
+import pytest
+
+from repro.des import Component, Engine
+from repro.des.link import Link, LinkDownError, connect
+
+
+class Recorder(Component):
+    """Collects (time, port, payload) for every event it receives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def handle_event(self, port_name, payload, time):
+        self.received.append((time, port_name, payload))
+
+
+def _pair(on_fail="raise"):
+    eng = Engine()
+    src = Recorder("src")
+    dst = Recorder("dst")
+    eng.register(src)
+    eng.register(dst)
+    link = Link(src.port("out"), dst.port("in"), latency=1.0, on_fail=on_fail)
+    return eng, src, dst, link
+
+
+def test_on_fail_validation():
+    eng = Engine()
+    a, b = Recorder("a"), Recorder("b")
+    eng.register(a)
+    eng.register(b)
+    with pytest.raises(ValueError, match="on_fail must be"):
+        Link(a.port("x"), b.port("y"), latency=1.0, on_fail="explode")
+
+
+def test_in_flight_payload_survives_fail():
+    # The bits left the failed segment before it went down: a delivery
+    # scheduled before fail() still arrives on time.
+    eng, src, dst, link = _pair()
+    link.deliver(src.port("out"), "early")
+    link.fail()
+    eng.run()
+    assert dst.received == [(1.0, "in", "early")]
+
+
+def test_deliver_after_fail_raises_with_link_name():
+    eng, src, dst, link = _pair()
+    link.fail()
+    with pytest.raises(LinkDownError, match="src.out<->dst.in is down"):
+        link.deliver(src.port("out"), "lost")
+    eng.run()
+    assert dst.received == []
+
+
+def test_deliver_after_fail_drops_silently_when_configured():
+    eng, src, dst, link = _pair(on_fail="drop")
+    link.fail()
+    assert link.deliver(src.port("out"), "lost") is None
+    eng.run()
+    assert dst.received == []
+
+
+def test_repair_restores_delivery():
+    eng, src, dst, link = _pair()
+    link.fail()
+    link.repair()
+    ev = link.deliver(src.port("out"), "back")
+    assert ev is not None
+    eng.run()
+    assert dst.received == [(1.0, "in", "back")]
+
+
+def test_fail_drop_fail_sequence_is_deterministic():
+    # Interleaved in-flight and post-failure sends: exactly the
+    # pre-failure payloads arrive, in timestamp order, every run.
+    for _ in range(2):
+        eng, src, dst, link = _pair(on_fail="drop")
+        link.deliver(src.port("out"), 1)
+        link.deliver(src.port("out"), 2, extra_delay=0.5)
+        link.fail()
+        assert link.deliver(src.port("out"), 3) is None
+        link.repair()
+        link.deliver(src.port("out"), 4, extra_delay=1.0)
+        eng.run()
+        assert dst.received == [
+            (1.0, "in", 1),
+            (1.5, "in", 2),
+            (2.0, "in", 4),
+        ]
+
+
+def test_connect_helper_and_component_send_respect_failure():
+    eng = Engine()
+    src = Recorder("src")
+    dst = Recorder("dst")
+    eng.register(src)
+    eng.register(dst)
+    link = connect(src, "out", dst, "in", latency=0.5)
+    src.send("out", "ok")
+    link.fail()
+    with pytest.raises(LinkDownError):
+        src.send("out", "nope")
+    eng.run()
+    assert dst.received == [(0.5, "in", "ok")]

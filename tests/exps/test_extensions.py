@@ -211,3 +211,50 @@ def test_ext8_is_deterministic():
     a = sdc_verification_dse(verify_periods=(5,), reps=2, timesteps=30, seed=4)
     b = sdc_verification_dse(verify_periods=(5,), reps=2, timesteps=30, seed=4)
     assert a == b
+
+
+def test_ext9_network_fault_dse():
+    from repro.exps.extensions import (
+        ext9_analytic_slowdown,
+        format_ext9,
+        network_fault_dse,
+    )
+
+    rows = network_fault_dse(
+        link_mtbfs=(8.0, 48.0), ckpt_periods=(5,), timesteps=30, reps=4, seed=0
+    )
+    by = {r.link_mtbf_s: r for r in rows}
+    assert set(by) == {8.0, 48.0}
+    # more frequent link faults -> more injected faults, more slowdown
+    assert by[8.0].net_faults > by[48.0].net_faults
+    assert by[8.0].slowdown > by[48.0].slowdown >= 1.0
+    assert by[8.0].retransmits > 0.0
+    for r in rows:
+        # the closed form must land within the documented band: half the
+        # larger excess slowdown, floored at 0.1x for the quiet points
+        ex_sim = r.slowdown - 1.0
+        ex_an = r.analytic_slowdown - 1.0
+        tol = max(0.5 * max(ex_sim, ex_an), 0.1)
+        assert abs(ex_sim - ex_an) <= tol, (r.link_mtbf_s, ex_sim, ex_an)
+    out = format_ext9(rows)
+    assert "EXT9" in out and "analytic" in out
+
+
+def test_ext9_is_deterministic():
+    from repro.exps.extensions import network_fault_dse
+
+    a = network_fault_dse(
+        link_mtbfs=(16.0,), ckpt_periods=(5,), timesteps=15, reps=2, seed=3
+    )
+    b = network_fault_dse(
+        link_mtbfs=(16.0,), ckpt_periods=(5,), timesteps=15, reps=2, seed=3
+    )
+    assert a == b
+
+
+def test_ext9_analytic_slowdown_monotone_in_mtbf():
+    from repro.exps.extensions import ext9_analytic_slowdown
+
+    hi = ext9_analytic_slowdown(8.0, 5, 40, baseline_total=12.0)
+    lo = ext9_analytic_slowdown(48.0, 5, 40, baseline_total=12.0)
+    assert hi > lo > 1.0

@@ -155,3 +155,57 @@ def test_to_networkx_neighbor_graph():
     assert g.number_of_nodes() == 9
     # 2D 3-ary torus: each node has 4 neighbors -> 18 edges
     assert g.number_of_edges() == 18
+
+
+# -- node-range diagnostics (all topologies) -------------------------------------
+
+
+def _all_topologies():
+    from repro.network.dragonfly import Dragonfly
+
+    return [
+        FullyConnected(4),
+        Torus((2, 2)),
+        TwoStageFatTree(4, nodes_per_edge=2, uplinks_per_edge=1),
+        Dragonfly(4, nodes_per_router=2, routers_per_group=1),
+    ]
+
+
+@pytest.mark.parametrize("topo", _all_topologies(), ids=lambda t: type(t).__name__)
+def test_negative_node_id_names_offender_and_range(topo):
+    with pytest.raises(IndexError, match=r"node -1 out of range \[0, 4\)"):
+        topo.hop_count(-1, 0)
+    with pytest.raises(IndexError, match=r"node -1 out of range"):
+        topo.neighbors(-1)
+
+
+@pytest.mark.parametrize("topo", _all_topologies(), ids=lambda t: type(t).__name__)
+def test_node_id_equal_to_num_nodes_rejected(topo):
+    n = topo.num_nodes
+    with pytest.raises(IndexError, match=rf"node {n} out of range \[0, {n}\)"):
+        topo.hop_count(0, n)
+    with pytest.raises(IndexError, match=rf"node {n} out of range"):
+        topo.average_hops([(0, n)])
+
+
+def test_node_range_error_is_both_index_and_value_error():
+    from repro.network import NodeRangeError
+
+    t = FullyConnected(3)
+    with pytest.raises(NodeRangeError):
+        t.hop_count(0, 3)
+    with pytest.raises(ValueError):  # historically IndexError; now both
+        t.hop_count(0, 3)
+    with pytest.raises(IndexError):
+        t.hop_count(0, 3)
+
+
+def test_single_node_topologies():
+    fc = FullyConnected(1)
+    assert fc.hop_count(0, 0) == 0
+    assert fc.neighbors(0) == []
+    with pytest.raises(IndexError, match=r"node 1 out of range \[0, 1\)"):
+        fc.hop_count(0, 1)
+    t = Torus((1, 1))
+    assert t.hop_count(0, 0) == 0
+    assert t.neighbors(0) == []

@@ -184,3 +184,17 @@ def test_jsonl_sink_breaker_suspend_resume(tmp_path):
     sink.resume()
     assert sink.maybe_flush(force=True)
     sink.close()
+
+
+def test_summarize_surfaces_network_fault_counters(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("net_reroutes_total").inc(4)
+    reg.counter("net_retransmits_total").inc(11)
+    reg.counter("net_partition_stalls_total").inc(2)
+    path = tmp_path / "m.prom"
+    write_prometheus(str(path), reg)
+    text = summarize_metrics(str(path))
+    notes = [line for line in text.splitlines() if "note:" in line]
+    assert any("4" in n and "detour route" in n for n in notes)
+    assert any("11" in n and "retransmission" in n for n in notes)
+    assert any("2" in n and "partitioned network" in n for n in notes)

@@ -359,3 +359,69 @@ def test_campaign_fault_mix_semantic_errors_from_model():
         main([*base, "--fault-mix", "gremlin=1.0"])
     with pytest.raises(ValueError, match="sum to 1"):
         main([*base, "--fault-mix", "sdc=0.4"])
+
+
+def test_campaign_network_fault_flags(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "net.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--reps", "3",
+                "--mtbf", "8",
+                "--periods", "5",
+                "--timesteps", "10",
+                "--fault-mix", "node=0.5", "link=0.5",
+                "--net-topology", "torus",
+                "--net-link-mtbf", "16",
+                "--net-repair-time", "1",
+                "--net-degrade-factor", "6",
+                "--net-loss-prob", "0.1",
+                "--json", str(path),
+            ]
+        )
+        == 0
+    )
+    assert "RESILIENCE CAMPAIGN" in capsys.readouterr().out
+    report = json.loads(path.read_text())
+    (point,) = report["points"]
+    assert set(point["fault_kinds"]) <= {"node", "link", "switch", "netdeg"}
+    assert point["fault_kinds"].get("link", 0) > 0
+    assert set(point["net"]) == {"faults", "repairs", "partition_stalls",
+                                 "degraded_commits", "reroutes",
+                                 "retransmits"}
+    assert point["net"]["faults"] >= point["fault_kinds"].get("link", 0)
+
+
+def test_campaign_net_topology_torus_accepts_non_square_rank_counts():
+    # default nranks=8 is not a perfect square: the spec must factor the
+    # torus near-square instead of rejecting the CLI default
+    assert (
+        main(
+            ["campaign", "--reps", "1", "--mtbf", "1e9", "--periods", "5",
+             "--timesteps", "5", "--net-topology", "torus"]
+        )
+        == 0
+    )
+
+
+def test_ext9_listed_and_dispatchable(capsys, monkeypatch):
+    import repro.cli as cli_mod
+
+    assert main(["list"]) == 0
+    assert "ext9" in capsys.readouterr().out
+
+    called = {}
+
+    def fake_dse(reps, seed):
+        called["args"] = (reps, seed)
+        return []
+
+    monkeypatch.setattr(
+        "repro.exps.extensions.network_fault_dse", fake_dse
+    )
+    assert main(["ext9", "--reps", "2", "--seed", "5"]) == 0
+    assert called["args"] == (2, 5)
+    assert "EXT9" in capsys.readouterr().out
