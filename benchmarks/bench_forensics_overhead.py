@@ -1,0 +1,86 @@
+"""FORENSICS — flight-recorder-on vs -off overhead on the Fig. 7 workload.
+
+Runs the 64-rank LULESH proxy (200 timesteps, L1 checkpoints every 40)
+through the sequential engine twice per round: bare, and with a
+:class:`~repro.obs.flightrec.FlightRecorder` attached (hot-loop tick
+sampling every 1024 events plus a live spill file on disk — the full
+production configuration ``--flight-dir`` enables).  The min-of-rounds
+ratio lands in ``extra_info`` and is asserted to stay within the PR's
+overhead budget: forensics must be cheap enough to leave on.
+"""
+
+import os
+import tempfile
+import time
+
+from benchmarks.conftest import emit
+from repro.apps import lulesh_appbeo
+from repro.core import BESSTSimulator
+from repro.core.ft import scenario_l1
+from repro.obs.flightrec import FlightRecorder, flight_spill_path
+
+RANKS = 64
+TIMESTEPS = 200
+EPR = 10
+ROUNDS = 3
+
+#: flight-on / flight-off wall time (min of rounds) must stay under this
+OVERHEAD_BOUND = 1.1
+
+
+def _make_sim(ctx):
+    app = lulesh_appbeo(timesteps=TIMESTEPS, scenario=scenario_l1(40))
+    return BESSTSimulator(
+        app, ctx.archbeo, nranks=RANKS, params={"epr": EPR}, seed=0
+    )
+
+
+def _run_bare(ctx) -> float:
+    sim = _make_sim(ctx)
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    assert res.completed
+    return dt
+
+
+def _run_recorded(ctx, spill_dir) -> float:
+    sim = _make_sim(ctx)
+    flight = FlightRecorder(spill_path=flight_spill_path(spill_dir, 0))
+    sim.attach_flightrec(flight)
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    flight.close(remove_spill=True)
+    assert res.completed
+    assert flight.seq > 0  # ticks actually fired
+    return dt
+
+
+def test_forensics_overhead_fig7_workload(benchmark, ctx):
+    with tempfile.TemporaryDirectory() as spill_dir:
+        _run_bare(ctx)  # warm imports, model LUTs, allocator
+        _run_recorded(ctx, spill_dir)
+
+        bare = [_run_bare(ctx) for _ in range(ROUNDS)]
+
+        def one_round():
+            return _run_recorded(ctx, spill_dir)
+
+        benchmark.pedantic(one_round, rounds=ROUNDS, iterations=1)
+        recorded = [_run_recorded(ctx, spill_dir) for _ in range(ROUNDS)]
+        assert not os.listdir(spill_dir)  # spills cleaned after each run
+
+    # Compare min-of-rounds: the floor is the honest per-event cost,
+    # everything above it is scheduler noise.
+    ratio = min(recorded) / min(bare)
+    benchmark.extra_info["bare_s"] = min(bare)
+    benchmark.extra_info["recorded_s"] = min(recorded)
+    benchmark.extra_info["overhead_ratio"] = ratio
+    emit(
+        benchmark,
+        "forensics-overhead",
+        f"flight off: {min(bare):.3f}s  flight on: {min(recorded):.3f}s  "
+        f"ratio: {ratio:.3f}x (bound {OVERHEAD_BOUND}x)",
+    )
+    assert ratio <= OVERHEAD_BOUND

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fault forensics: flight recorder, causal chains, waste attribution.
+
+Runs a mixed-taxonomy resilience campaign with the flight recorder on
+(every replica keeps a bounded in-memory event ring plus a crash-
+surviving spill file), then post-mortems the journal + flight dumps the
+way ``repro analyze`` does, and shows that:
+
+* every replica leaves an atomically-written flight dump behind,
+* each injected fault is reconstructed into a causal chain
+  (inject → detect → ladder attempts → requeue/abort → outcome),
+* per-fault attributed waste reconciles with the replicas' measured
+  waste buckets (coverage >= 95 %, exact by construction here), and
+* the fail-stop share of the waste cross-checks against the Young/Daly
+  ``expected_waste`` prediction.
+
+Run:  python examples/fault_forensics.py        (seconds)
+"""
+
+import os
+import tempfile
+
+from repro.core.campaign import ResilienceCampaign
+from repro.core.forensics import analyze_journal, format_analysis
+from repro.obs.flightrec import load_flight_dir
+
+MIX = {"software": 0.4, "node": 0.2, "sdc": 0.2, "straggler": 0.1, "burst": 0.1}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "campaign.wal.jsonl")
+        flight_dir = os.path.join(tmp, "flight")
+
+        print("running a mixed-taxonomy campaign with the flight recorder on:")
+        print(f"  fault mix: {MIX}")
+        camp = ResilienceCampaign(
+            reps=6,
+            base_seed=0,
+            journal_path=journal,
+            flight_dir=flight_dir,
+        )
+        try:
+            report = camp.run_grid(
+                [40.0],
+                [5],
+                timesteps=40,
+                fault_mix=MIX,
+                verify_period=5,
+            )
+        finally:
+            camp.close()
+        print(report.format())
+
+        dumps = load_flight_dir(flight_dir)
+        print(f"flight dumps on disk: {len(dumps)} "
+              f"(reasons: {sorted({d['meta'].get('reason') for d in dumps.values()})})")
+        assert len(dumps) == 6, "every replica must leave a dump"
+
+        analysis = analyze_journal(journal, flight_dir=flight_dir, top_k=3)
+        print()
+        print(format_analysis(analysis))
+
+        coverage = analysis["totals"]["coverage"]
+        assert coverage >= 0.95, f"attribution coverage {coverage:.1%} < 95%"
+        point = analysis["points"][0]
+        assert point["episodes"] > 0, "mixed campaign must produce episodes"
+        yd = point["youngdaly"]
+        assert yd["predicted_waste_s"] > 0
+        print(
+            f"\nOK: {coverage:.1%} of measured waste attributed to "
+            f"{sum(len(p['per_kind']) for p in analysis['points'])} fault kinds "
+            f"across {point['episodes']} episodes"
+        )
+
+
+if __name__ == "__main__":
+    main()

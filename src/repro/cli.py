@@ -24,6 +24,15 @@ snapshot, ``--trace-out`` writes a merged Chrome/Perfetto span trace
 (campaign, supervisor and worker layers in one timeline), and
 ``--heartbeat`` prints a live progress line.  ``repro metrics
 summarize <file>`` condenses either metrics format afterwards.
+
+Post-mortem: ``--flight-dir`` makes every replica keep a crash-safe
+flight-recorder ring (dumped on exit, spill survives SIGKILL), and
+``repro analyze <journal> [--flight-dir D]`` reconstructs per-fault
+causal chains with waste attribution from the journal + dumps.
+
+Exit codes: 0 success; 2 usage error; 3 campaign produced no results
+(all replicas quarantined); 4 resumable resource abort; 5 analyze
+found no usable data.
 """
 
 from __future__ import annotations
@@ -329,6 +338,34 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="print a live progress line to stderr every SECONDS",
     )
+    camp.add_argument(
+        "--flight-dir",
+        help="per-replica flight-recorder directory: each replica keeps a "
+        "bounded in-memory event ring plus a crash-surviving spill file, "
+        "dumped here on exit for `repro analyze`",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="post-mortem a campaign journal: causal fault chains, "
+        "per-fault waste attribution, analytical cross-checks",
+    )
+    analyze.add_argument("journal", help="campaign write-ahead journal path")
+    analyze.add_argument(
+        "--flight-dir",
+        help="flight-recorder directory of the campaign run (adds crashed-"
+        "replica dumps and the harness failure log to the post-mortem)",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=5, help="top-K faults by attributed waste"
+    )
+    analyze.add_argument(
+        "--json", dest="json_out", help="write the full analysis JSON here"
+    )
+    analyze.add_argument(
+        "--trace-out",
+        help="write a Chrome trace of the worst fault's recovery timeline",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="inspect metrics files written by --metrics-out"
@@ -580,6 +617,7 @@ def _run_campaign(args) -> tuple[str, int]:
             fault_injector=injector,
             obs=obs,
             guard=guard,
+            flight_dir=args.flight_dir,
             **snapshot_kwargs,
         )
     else:
@@ -596,6 +634,7 @@ def _run_campaign(args) -> tuple[str, int]:
             fault_injector=injector,
             obs=obs,
             guard=guard,
+            flight_dir=args.flight_dir,
             **snapshot_kwargs,
         )
     spec_kwargs = dict(
@@ -660,6 +699,53 @@ def _run_campaign(args) -> tuple[str, int]:
     return "\n".join(lines), code
 
 
+def _run_analyze(args) -> tuple[str, int]:
+    """Post-mortem a campaign journal; returns ``(stdout text, exit code)``.
+
+    Exit code 5 ("no usable data") covers a missing/unreadable journal
+    and a journal that holds no grid points, with a machine-readable
+    JSON summary on stderr — mirroring the campaign's exit-3/4 idiom.
+    """
+    from repro.core.forensics import (
+        analyze_journal,
+        format_analysis,
+        worst_fault_trace,
+    )
+
+    def _no_data(error: str, detail: str) -> tuple[str, int]:
+        summary = {
+            "error": error,
+            "detail": detail,
+            "journal": args.journal,
+        }
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        return "", 5
+
+    try:
+        analysis = analyze_journal(
+            args.journal, flight_dir=args.flight_dir, top_k=args.top
+        )
+    except FileNotFoundError:
+        return _no_data("analyze-journal-not-found", "journal does not exist")
+    except (OSError, ValueError, KeyError) as exc:
+        return _no_data(
+            "analyze-journal-unreadable", f"{type(exc).__name__}: {exc}"
+        )
+    if not analysis["points"]:
+        return _no_data(
+            "analyze-journal-empty", "journal holds no campaign points"
+        )
+    if args.json_out:
+        _write_text_atomic(
+            args.json_out, json.dumps(analysis, sort_keys=True, indent=1)
+        )
+    if args.trace_out:
+        _write_text_atomic(
+            args.trace_out, json.dumps(worst_fault_trace(analysis))
+        )
+    return format_analysis(analysis), 0
+
+
 def _fit_models(out: str, seed: int, all_levels: bool) -> str:
     from repro.core.workflow import ModelDevelopment
     from repro.exps.casestudy import CASE_KERNELS
@@ -701,6 +787,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "campaign":
         text, code = _run_campaign(args)
         print(text)
+        return code
+    if args.command == "analyze":
+        text, code = _run_analyze(args)
+        if text:
+            print(text)
         return code
     if args.command == "metrics":
         from repro.obs.export import summarize_metrics

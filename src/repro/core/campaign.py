@@ -318,6 +318,7 @@ _REPLICA_KEYS = frozenset(
         "sdc",
         "net",
         "wrong_result",
+        "forensics",
     }
 )
 
@@ -357,18 +358,31 @@ def _run_replica(payload: tuple) -> dict:
     in slot 4 joins the replica to the campaign's trace (spans + worker
     metrics dumped into the shared obs directory); observability never
     touches the metrics dict beyond adding ``events_fired``, so journals
-    and reports stay bit-identical with it on or off.
+    and reports stay bit-identical with it on or off.  A flight-recorder
+    directory in slot 5 records the replica's fault/recovery timeline
+    out-of-band (live spill + atomic final dump, both named by seed);
+    the recorder is observation-only, so the metrics dict — and with it
+    journal and report bytes — is identical with it on or off.
     """
     spec, policy, seed = payload[:3]
     snap_cfg: Optional[ReplicaSnapshotConfig] = (
         payload[3] if len(payload) > 3 else None
     )
     obs_ctx = payload[4] if len(payload) > 4 else None
+    flight_dir = payload[5] if len(payload) > 5 else None
     tracer = engine_obs = span = None
     if obs_ctx is not None:
         from repro.obs.instrument import replica_obs_begin
 
         tracer, engine_obs, span = replica_obs_begin(obs_ctx, seed)
+    flight = None
+    if flight_dir is not None:
+        from repro.obs.flightrec import FlightRecorder, flight_spill_path
+
+        flight = FlightRecorder(
+            spill_path=flight_spill_path(flight_dir, seed)
+        )
+        flight.record("replica_start", 0.0, seed=seed, pid=os.getpid())
     sim = None
     store = None
     if snap_cfg is not None:
@@ -386,6 +400,8 @@ def _run_replica(payload: tuple) -> dict:
             )
     if engine_obs is not None:
         sim.engine.attach_obs(engine_obs)
+    if flight is not None:
+        sim.attach_flightrec(flight)
     res = sim.run(max_events=_REPLICA_MAX_EVENTS)
     if store is not None:
         store.clear()  # completed: the snapshots are dead weight now
@@ -422,10 +438,45 @@ def _run_replica(payload: tuple) -> dict:
             "retransmits": res.net_retransmits,
         },
         "wrong_result": res.wrong_result,
+        # Always present (forensics is derived from the run, not from
+        # any recorder): per-episode waste attribution + phase timelines.
+        "forensics": {
+            "episodes": res.episodes,
+            "straggler_excess_s": res.straggler_excess_s,
+            "straggler_excess_by_node": {
+                str(k): v for k, v in res.straggler_excess_by_node.items()
+            },
+        },
         # Extra key (not in _REPLICA_KEYS): feeds the heartbeat's
         # events/sec; aggregation ignores it, so reports are unchanged.
         "events_fired": res.events_fired,
     }
+    if flight is not None:
+        from repro.obs.export import guarded_export
+        from repro.obs.flightrec import flight_dump_path
+
+        reason = (
+            "aborted"
+            if not res.completed
+            else "wrong_result"
+            if res.wrong_result
+            else "completed"
+        )
+        meta = {
+            "seed": seed,
+            "reason": reason,
+            "sim_time": res.total_time,
+            "events": res.events_fired,
+            "completed": res.completed,
+            "wrong_result": res.wrong_result,
+        }
+        dumped = guarded_export(
+            "flight-dump",
+            lambda: flight.dump(flight_dump_path(flight_dir, seed), meta=meta),
+        )
+        # Only a successfully-dumped replica may drop its spill: a live
+        # spill left behind is the post-mortem signal for a killed worker.
+        flight.close(remove_spill=dumped)
     if obs_ctx is not None:
         from repro.obs.instrument import replica_obs_end
 
@@ -809,6 +860,7 @@ class ResilienceCampaign(MonteCarloRunner):
         sim_snapshot_every: Optional[int] = None,
         obs=None,
         guard=None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         super().__init__(reps=reps, base_seed=base_seed)
         if n_workers < 1:
@@ -826,6 +878,13 @@ class ResilienceCampaign(MonteCarloRunner):
         self.sim_snapshot_every = sim_snapshot_every
         self.obs = obs
         self.guard = guard
+        #: flight-recorder directory: each replica spills its fault/
+        #: recovery timeline there and dumps it atomically at exit; the
+        #: harness failure log lands there too.  Out-of-band by design —
+        #: journal and report bytes are identical with it on or off.
+        self.flight_dir = flight_dir
+        if flight_dir is not None:
+            os.makedirs(flight_dir, exist_ok=True)
         #: set when a run stopped on resource exhaustion; the journal
         #: holds every completed replica, so :meth:`resume` finishes the
         #: sweep bit-identically once the pressure clears
@@ -852,6 +911,7 @@ class ResilienceCampaign(MonteCarloRunner):
         sim_snapshot_every: Optional[int] = None,
         obs=None,
         guard=None,
+        flight_dir: Optional[str] = None,
     ) -> "ResilienceCampaign":
         """Rebuild a campaign from a journal's header (reps/seed/policy).
 
@@ -873,6 +933,7 @@ class ResilienceCampaign(MonteCarloRunner):
             sim_snapshot_every=sim_snapshot_every,
             obs=obs,
             guard=guard,
+            flight_dir=flight_dir,
         )
 
     @staticmethod
@@ -963,6 +1024,19 @@ class ResilienceCampaign(MonteCarloRunner):
                 # cadence only affects resume granularity, never the
                 # replica's (pure-function) results.
                 every_events=self.sim_snapshot_every * self._cadence_factor,
+            )
+        if self.flight_dir is not None:
+            # 6-tuple: slots 3/4 may be None, slot 5 points the worker's
+            # flight recorder (spill + final dump) at the shared directory.
+            return (
+                spec,
+                self.policy,
+                seeds[i],
+                snap_cfg,
+                self.obs.worker_context(f"{spec_key}:{i}")
+                if self.obs is not None
+                else None,
+                self.flight_dir,
             )
         if self.obs is not None:
             # 5-tuple: slot 3 may be None, slot 4 joins the worker to
@@ -1057,6 +1131,14 @@ class ResilienceCampaign(MonteCarloRunner):
                     seed=self.base_seed,
                     obs=sup_obs,
                     guard=self.guard,
+                    # harness failures (crashes, hangs, quarantines) land
+                    # next to the flight dumps so `repro analyze` can
+                    # explain replicas that never produced a journal row
+                    failure_log_path=(
+                        os.path.join(self.flight_dir, "harness-failures.jsonl")
+                        if self.flight_dir is not None
+                        else None
+                    ),
                 )
                 out = supervisor.run(tasks)
                 if sup_obs is not None:

@@ -463,6 +463,19 @@ class RecoveryPolicy:
         return replace(policy, **overrides) if overrides else policy
 
 
+#: stable field order of :meth:`FaultEvent.to_list` rows — the contract
+#: journaled replica records and ``core.forensics`` parsing both rely on
+FAULT_ROW_FIELDS = (
+    "time",
+    "node",
+    "kind",
+    "victims",
+    "slowdown",
+    "detected_time",
+    "outcome",
+)
+
+
 @dataclass
 class FaultEvent:
     """One injected fault, with its kind metadata and detection outcome.

@@ -169,6 +169,12 @@ class SimulationResult:
     net_degraded_commits: int = 0   #: L2+ checkpoints degraded to L1 (partner unreachable)
     net_reroutes: int = 0           #: messages priced over a detour route
     net_retransmits: float = 0.0    #: expected retransmissions on lossy routes
+    #: closed forensic recovery-episode summaries (see ``core.forensics``):
+    #: each carries its owning fault ids, phase timeline and the exact
+    #: per-episode waste charges, so attribution sums to the totals
+    episodes: list = field(default_factory=list)
+    straggler_excess_s: float = 0.0  #: job-time excess from degraded compute clocks
+    straggler_excess_by_node: dict = field(default_factory=dict)  #: node -> excess share
 
     @property
     def ft_overhead_fraction(self) -> float:
@@ -310,6 +316,7 @@ class _Rank(Component):
         # once per batch — an already-priced batch keeps its price even
         # if a repair lands mid-flight (batch granularity).
         slow = self.sim._slowdown_for_rank(self.rank)
+        slowed_t = 0.0
         while self.pc < len(self.program):
             instr = self.program[self.pc]
             if isinstance(instr, (Compute, Checkpoint, Verify)):
@@ -324,6 +331,8 @@ class _Rank(Component):
                     # L2/partner-copy traffic crosses the (possibly
                     # degraded) fabric and pays the real network cost.
                     dt *= self.sim._net_ckpt_factor(self.rank)
+                if slow != 1.0:
+                    slowed_t += dt
             elif isinstance(instr, Exchange):
                 dt = self.sim.archbeo.exchange_time(instr)
             elif isinstance(instr, Marker):
@@ -333,6 +342,13 @@ class _Rank(Component):
             batch.append((instr, t_off, dt))
             t_off += dt
             self.pc += 1
+        if slowed_t > 0.0:
+            # Forensic accounting only: the excess over healthy-clock time
+            # for this batch's slowed instructions (dt includes the factor,
+            # so excess = dt - dt/slow).
+            self.sim._note_straggler_excess(
+                self.rank, slowed_t * (1.0 - 1.0 / slow)
+            )
         return t_off, batch
 
     def _on_batch_done(self, ev: Event) -> None:
@@ -470,6 +486,18 @@ class _RecoveryEpisode:
     #: kind merging — the corrupt data does not get cleaner because a
     #: node also died)
     avoid_corrupt: bool = False
+    # -- forensic bookkeeping (observation-only: derived from charges the
+    # -- lifecycle already makes, never feeding back into scheduling) ----
+    episode_id: int = -1
+    downtime_s: float = 0.0        #: detection/restore/retry delays charged here
+    requeue_s: float = 0.0         #: resubmission delays charged here
+    fault_ids: list = field(default_factory=list)  #: injector-log ids, primary first
+    phases: list = field(default_factory=list)     #: [t, phase, data] timeline
+
+
+#: per-episode phase timelines are bounded so a fault storm cannot grow
+#: a replica record without limit (the waste charges stay exact)
+_MAX_EPISODE_PHASES = 128
 
 
 #: fault-kind severity ordering for nested-fault merging (network kinds
@@ -577,6 +605,14 @@ class BESSTSimulator:
         self._node_slowdown: dict[int, float] = {}
         #: node -> generation token guarding stale straggler-repair events
         self._straggler_token: dict[int, int] = {}
+        # forensic state (observation-only; nothing here touches a draw
+        # stream or schedules an event, so results are identical with or
+        # without a flight recorder attached)
+        self.episodes: list[dict] = []
+        self._episode_seq = 0
+        self.straggler_excess_s = 0.0
+        self._straggler_excess_by_node: dict[int, float] = {}
+        self._flightrec = None
         self.faults_by_kind: dict[str, int] = {}
         self.sdc_injected = 0
         self.sdc_detected = 0
@@ -647,6 +683,81 @@ class BESSTSimulator:
             return "requeued" if self._recovery.requeued else "recovering"
         return "running"
 
+    # -- forensics ---------------------------------------------------------------------
+
+    def attach_flightrec(self, rec):
+        """Attach (or with ``None`` detach) a flight recorder.
+
+        The recorder receives every fault/recovery lifecycle record plus
+        the engine's periodic progress ticks.  Recording is strictly
+        observational: it never draws randomness or schedules events, so
+        simulation output is identical with it on or off.
+        """
+        self._flightrec = rec
+        self.engine.attach_flightrec(rec)
+        return rec
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_flightrec"] = None  # open spill handle: reattach post-restore
+        return state
+
+    def _forensic_note(self, what: str, **data) -> None:
+        rec = self._flightrec
+        if rec is not None:
+            rec.record(what, self.engine.now, **data)
+
+    def _episode_phase(self, episode: _RecoveryEpisode, phase: str, **data) -> None:
+        """Append one phase to the episode timeline (bounded) and mirror
+        it into the flight recorder."""
+        if len(episode.phases) < _MAX_EPISODE_PHASES:
+            episode.phases.append([self.engine.now, phase, data])
+        self._forensic_note(phase, episode=episode.episode_id, **data)
+
+    def _close_episode(self, episode: _RecoveryEpisode, outcome: str) -> None:
+        """Freeze one finished recovery episode into a summary record.
+
+        The waste fields are the exact charges this episode made to the
+        simulator's rework/downtime/requeue buckets, so summing episode
+        waste reproduces the replica totals (the reconciliation invariant
+        ``core.forensics`` relies on).
+        """
+        self.episodes.append(
+            {
+                "id": episode.episode_id,
+                "kind": episode.kind,
+                "t_fault": episode.fault_time,
+                "t_end": self.engine.now,
+                "outcome": outcome,
+                "attempts": episode.attempts,
+                "rung": episode.rung,
+                "rework_s": episode.rework_credited,
+                "downtime_s": episode.downtime_s,
+                "requeue_s": episode.requeue_s,
+                "faults": [f for f in episode.fault_ids if f >= 0],
+                "phases": list(episode.phases),
+            }
+        )
+        self._forensic_note(
+            "episode_end", episode=episode.episode_id, outcome=outcome
+        )
+
+    def _new_episode(self, fid: int, **kwargs) -> _RecoveryEpisode:
+        episode = _RecoveryEpisode(episode_id=self._episode_seq, **kwargs)
+        self._episode_seq += 1
+        if fid >= 0:
+            episode.fault_ids.append(fid)
+        return episode
+
+    def _note_straggler_excess(self, rank: int, excess: float) -> None:
+        """Credit one batch's straggler-inflated runtime (job-time share)."""
+        share = excess / self.nranks
+        self.straggler_excess_s += share
+        node = self.archbeo.node_of_rank(rank)
+        self._straggler_excess_by_node[node] = (
+            self._straggler_excess_by_node.get(node, 0.0) + share
+        )
+
     # -- fault lifecycle ---------------------------------------------------------------
 
     def inject_fault(
@@ -705,21 +816,31 @@ class BESSTSimulator:
         self.faults_injected += 1
         self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
         self._record_fault_metric(kind)
+        # Forensic fault id: the injector appends its log record before
+        # dispatching here, so the id is simply that record's log index
+        # (joined by identity, not by a parallel counter — early returns
+        # above cannot desynchronise it).  Direct calls carry no id.
+        fid = -1
+        if self.fault_injector is not None and event is not None:
+            log = self.fault_injector.log.entries
+            if log and log[-1] is event:
+                fid = len(log) - 1
+        self._forensic_note("inject", fault=fid, fault_kind=kind, node=node)
         if kind == "straggler":
             self._apply_straggler(node, detail, event)
             return
         if kind == "sdc":
-            self._arm_sdc(node, detail, event)
+            self._arm_sdc(node, detail, event, fid)
             return
         if kind in ("link", "switch", "netdeg"):
-            self._apply_net_fault(node, kind, detail, event)
+            self._apply_net_fault(node, kind, detail, event, fid)
             return
         now = self.engine.now
         for victim in detail.victims if kind == "burst" else (node,):
             self._handle_torn(now, victim)
-        self._enter_recovery(kind, now)
+        self._enter_recovery(kind, now, fid)
 
-    def _enter_recovery(self, kind: str, now: float) -> None:
+    def _enter_recovery(self, kind: str, now: float, fid: int = -1) -> None:
         """Pause the whole job and enter (or re-enter) a recovery episode."""
         # Pause the whole job: collectives, batches, pending resumes.
         self.sync.reset(self.engine)
@@ -735,6 +856,9 @@ class BESSTSimulator:
                 self.engine.cancel(self._recovery_event)
                 self._recovery_event = None
             episode = self._recovery
+            if fid >= 0:
+                episode.fault_ids.append(fid)
+            self._episode_phase(episode, "nested_fault", fault=fid, fault_kind=kind)
             if _KIND_SEVERITY[kind] > _KIND_SEVERITY[episode.kind]:
                 episode.kind = kind
                 # A worse kind shrinks the candidate set; refresh the
@@ -746,9 +870,10 @@ class BESSTSimulator:
             # are paused during recovery, so the nested fault exposes no
             # new lost progress — only fresh downtime (charged below).
         else:
-            self._recovery = _RecoveryEpisode(
-                kind=kind, fault_time=now, ladder=self._candidate_ladder(kind)
+            self._recovery = self._new_episode(
+                fid, kind=kind, fault_time=now, ladder=self._candidate_ladder(kind)
             )
+            self._episode_phase(self._recovery, "detect", fault=fid, fault_kind=kind)
         self._start_attempt()
 
     # -- stragglers --------------------------------------------------------------------
@@ -825,7 +950,12 @@ class BESSTSimulator:
         return (min(ep, peer), max(ep, peer))
 
     def _apply_net_fault(
-        self, node: int, kind: str, detail: FaultDetail, event: FaultEvent
+        self,
+        node: int,
+        kind: str,
+        detail: FaultDetail,
+        event: FaultEvent,
+        fid: int = -1,
     ) -> None:
         """Mutate the health overlay for one network fault and schedule
         its repair; enter recovery when the job is partitioned."""
@@ -876,7 +1006,7 @@ class BESSTSimulator:
             self.net_partition_stalls += 1
             self._record_net_stall()
             event.outcome = "partitioned"
-            self._enter_recovery(kind, now)
+            self._enter_recovery(kind, now, fid)
 
     def _net_repaired(self, ev: Event) -> None:
         victim, token = ev.payload
@@ -981,7 +1111,9 @@ class BESSTSimulator:
 
     # -- silent data corruption --------------------------------------------------------
 
-    def _arm_sdc(self, node: int, detail: FaultDetail, event: FaultEvent) -> None:
+    def _arm_sdc(
+        self, node: int, detail: FaultDetail, event: FaultEvent, fid: int = -1
+    ) -> None:
         """Arm a latent corruption flag on the first rank of *node*."""
         self.sdc_injected += 1
         victim = next(
@@ -1002,6 +1134,7 @@ class BESSTSimulator:
                 "covered": detail.covered,
                 "correctable": detail.correctable,
                 "event": event,
+                "fid": fid,
             }
         )
 
@@ -1065,6 +1198,9 @@ class BESSTSimulator:
             self._record_sdc_detection(path, latency, ev.outcome)
         if all_correctable:
             self.sdc_corrected += len(covered)
+            self._forensic_note(
+                "sdc_corrected", rank=rank.rank, path=path, n=len(covered)
+            )
             remaining = [s for s in strikes if not s["covered"]]
             if remaining:
                 self._sdc_latent[rank.rank] = remaining
@@ -1077,12 +1213,18 @@ class BESSTSimulator:
         for r in self._ranks:
             r.pause()
         self._finished = 0
-        self._recovery = _RecoveryEpisode(
+        episode = self._new_episode(
+            -1,
             kind="sdc",
             fault_time=now,
             ladder=self._candidate_ladder("sdc", avoid_corrupt=True),
             avoid_corrupt=True,
         )
+        episode.fault_ids.extend(
+            s["fid"] for s in covered if s.get("fid", -1) >= 0
+        )
+        self._recovery = episode
+        self._episode_phase(episode, "detect", path=path, n=len(covered))
         self._start_attempt()
         return True
 
@@ -1127,6 +1269,7 @@ class BESSTSimulator:
             if level is None:
                 continue
             self.torn_checkpoints += 1
+            self._forensic_note("torn_checkpoint", rank=rank.rank, level=level)
             if (
                 level == 1
                 and self.policy.l1_inplace_writes
@@ -1185,6 +1328,11 @@ class BESSTSimulator:
         )
         self._charge_rework(episode, seq)
         self.waste_downtime += delay
+        episode.downtime_s += delay
+        self._episode_phase(
+            episode, "attempt", n=episode.attempts, rung=episode.rung,
+            seq=seq, delay=delay,
+        )
         self.rollbacks += 1
         # Verification is scheduled before the per-rank resumes so it
         # fires first on timestamp ties (deterministic seq ordering).
@@ -1225,6 +1373,7 @@ class BESSTSimulator:
             # connectivity or the job requeues onto a healthy fabric.
             self.net_partition_stalls += 1
             self._record_net_stall()
+            self._episode_phase(episode, "partition_stall", seq=seq)
             for rank in self._ranks:
                 rank.pause()
             self._start_attempt()
@@ -1239,11 +1388,14 @@ class BESSTSimulator:
                 # strike (a strike armed before this checkpoint's commit
                 # would have tainted it), so the rewind erases them all.
                 self._clear_latent_sdc("erased")
+            self._episode_phase(episode, "verify_ok", seq=seq)
+            self._close_episode(episode, "recovered")
             self._recovery = None
             return  # ranks resume on their already-scheduled events
         self.verify_failures += 1
         self.escalations += 1
         episode.rung += 1
+        self._episode_phase(episode, "verify_fail", seq=seq, rung=episode.rung)
         for rank in self._ranks:
             rank.pause()  # cancel the resumes; stay in recovery
         self._start_attempt()
@@ -1265,14 +1417,21 @@ class BESSTSimulator:
                 # node rebuild instead of failing the resubmission.
                 delay += self.policy.spare_rebuild_s
         self.waste_requeue += delay
+        episode.requeue_s += delay
         self._charge_rework(episode, 0)
         self.rollbacks += 1
         episode.requeued = True
+        self._episode_phase(
+            episode, "requeue", delay=delay, spares_left=self._spares_left
+        )
         self._recovery_event = self.engine.schedule(delay, self._requeue_done)
 
     def _requeue_done(self, ev: Event) -> None:
         """The resubmitted job starts from the input deck."""
         self._recovery_event = None
+        episode = self._recovery
+        self._episode_phase(episode, "requeue_done")
+        self._close_episode(episode, "requeued")
         self._recovery = None
         self._invalid_seqs.clear()
         self._corrupt_seqs.clear()
@@ -1302,6 +1461,10 @@ class BESSTSimulator:
         instead of raising."""
         self._aborted = True
         self._abort_time = self.engine.now
+        episode = self._recovery
+        if episode is not None:
+            self._episode_phase(episode, "abort")
+            self._close_episode(episode, "aborted")
         self._recovery = None
         if self.fault_injector is not None:
             self.fault_injector.detach()
@@ -1383,6 +1546,7 @@ class BESSTSimulator:
         wrong_result = (not self._aborted) and sdc_undetected > 0
         if wrong_result:
             self._record_wrong_result()
+            self._forensic_note("wrong_result", undetected=sdc_undetected)
         # LogGP reroute/retransmit accounting: the model may be shared
         # across simulators, so report the delta against construction.
         p2p = getattr(getattr(self.archbeo, "comm", None), "p2p", None)
@@ -1438,6 +1602,11 @@ class BESSTSimulator:
             net_degraded_commits=self.net_degraded_commits,
             net_reroutes=net_reroutes,
             net_retransmits=net_retransmits,
+            episodes=list(self.episodes),
+            straggler_excess_s=self.straggler_excess_s,
+            straggler_excess_by_node=dict(
+                sorted(self._straggler_excess_by_node.items())
+            ),
         )
         return self._result
 

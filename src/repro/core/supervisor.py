@@ -388,6 +388,7 @@ class TaskSupervisor:
         seed: int = 0,
         obs=None,
         guard=None,
+        failure_log_path: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -400,6 +401,12 @@ class TaskSupervisor:
         self.fault_injector = fault_injector
         self.obs = obs
         self.guard = guard
+        #: optional append-only JSONL of TaskFailure records (crashes,
+        #: hangs, garbage, quarantines) for post-mortem forensics; writes
+        #: are best-effort — an I/O error disables the log, never the run
+        self.failure_log_path = failure_log_path
+        self._failure_fh = None
+        self._failure_log_dead = False
         self._rng = random.Random(seed)
 
     # -- public entrypoint -----------------------------------------------------
@@ -429,6 +436,8 @@ class TaskSupervisor:
         except _SupervisorAbort as exc:
             stats.aborted = True
             stats.abort_reason = str(exc)
+        finally:
+            self._close_failure_log()
         return SupervisorResult(results, stats)
 
     def _guard_poll(self) -> None:
@@ -646,6 +655,7 @@ class TaskSupervisor:
         task.deadline = float("inf")
         stats.failures.append(TaskFailure(task.key, kind, task.attempts, detail))
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        self._log_failure(task.key, kind, task.attempts, detail)
         if self.obs is not None:
             self.obs.task_failed(task.key, kind)
         if task.attempts > self.retry.max_retries:
@@ -656,6 +666,10 @@ class TaskSupervisor:
                     task.key, "poisoned", task.attempts,
                     f"quarantined after {task.attempts} failures (last: {kind})",
                 )
+            )
+            self._log_failure(
+                task.key, "poisoned", task.attempts,
+                f"quarantined after {task.attempts} failures (last: {kind})",
             )
             if self.obs is not None:
                 self.obs.task_quarantined(task.key)
@@ -671,6 +685,46 @@ class TaskSupervisor:
         if self.obs is not None:
             self.obs.task_retried(task.key, delay)
         queue.append(task)
+
+    # -- failure log -----------------------------------------------------------
+
+    def _log_failure(self, key: str, kind: str, attempt: int, detail: str) -> None:
+        """Best-effort JSONL append of one harness failure (flushed per
+        line, so a torn tail is the worst a crash can leave)."""
+        if self.failure_log_path is None or self._failure_log_dead:
+            return
+        try:
+            if self._failure_fh is None:
+                parent = os.path.dirname(os.path.abspath(self.failure_log_path))
+                os.makedirs(parent, exist_ok=True)
+                self._failure_fh = open(
+                    self.failure_log_path, "a", encoding="utf-8"
+                )
+            self._failure_fh.write(
+                json.dumps(
+                    {
+                        "t_wall": time.time(),
+                        "key": key,
+                        "kind": kind,
+                        "attempt": attempt,
+                        "detail": str(detail),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            self._failure_fh.flush()
+        except OSError:
+            self._failure_log_dead = True
+            self._close_failure_log()
+
+    def _close_failure_log(self) -> None:
+        if self._failure_fh is not None:
+            try:
+                self._failure_fh.close()
+            except OSError:
+                pass
+            self._failure_fh = None
 
     # -- chaos env plumbing ----------------------------------------------------
 

@@ -70,6 +70,9 @@ class Engine:
         #: optional observability adapter (see :meth:`attach_obs`); not
         #: snapshotted — it holds tracers/locks and wall-clock state
         self._obs: Optional["EngineObs"] = None
+        #: optional flight recorder (see :meth:`attach_flightrec`); not
+        #: snapshotted — it may hold an open spill file handle
+        self._flightrec = None
 
     # -- construction -------------------------------------------------------
 
@@ -191,10 +194,22 @@ class Engine:
         self._obs = obs
         return obs
 
+    def attach_flightrec(self, rec):
+        """Attach (or with ``None`` detach) a flight recorder.
+
+        While attached, :meth:`run` samples a progress tick into the
+        recorder every ``rec.tick_stride`` events (power-of-two mask,
+        same idiom as the obs queue-depth sampling).  Detached engines
+        pay one ``is None`` test per event.
+        """
+        self._flightrec = rec
+        return rec
+
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_journal"] = None  # open file handle: reattach post-restore
         state["_obs"] = None  # wall-clock state and locks: reattach too
+        state["_flightrec"] = None  # open spill handle: reattach too
         return state
 
     # -- execution -----------------------------------------------------------
@@ -242,6 +257,10 @@ class Engine:
             obs_busy = obs.busy if obs is not None else None
             if obs is not None:
                 obs.run_started(self)
+            # Hoisted flight-recorder state: attached recorders pay a
+            # mask test per event and one record per tick_stride events.
+            flight = self._flightrec
+            flight_mask = flight.tick_stride - 1 if flight is not None else 0
             try:
                 while True:
                     t = self.queue.peek_time()
@@ -275,6 +294,10 @@ class Engine:
                             )
                             if not (self.events_fired & 63):
                                 obs.queue_depth.observe(len(self.queue))
+                    if flight is not None and not (
+                        self.events_fired & flight_mask
+                    ):
+                        flight.tick(self.now, self.events_fired)
                     if self.events_fired >= autosnap_check:
                         try:
                             autosnap.maybe_take(self)

@@ -14,6 +14,9 @@ reason — model validation needs numbers the simulator itself collects):
   text-exposition writer and a strict parser for validating it.
 - :mod:`repro.obs.heartbeat` — live terminal progress line for
   campaigns (replicas done/failed/quarantined, events/s, ETA).
+- :mod:`repro.obs.flightrec` — per-replica bounded flight recorder: an
+  in-memory event ring plus a crash-surviving spill file, dumped
+  atomically on exit and post-mortemed by ``repro analyze``.
 - :mod:`repro.obs.instrument` — the adapters that hook the registry and
   tracer into :class:`~repro.des.engine.Engine`,
   :class:`~repro.core.supervisor.TaskSupervisor` and
@@ -29,6 +32,13 @@ from repro.obs.export import (
     registry_to_prometheus,
     summarize_metrics,
     write_prometheus,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    flight_dump_path,
+    flight_spill_path,
+    load_flight_dir,
+    load_flight_dump,
 )
 from repro.obs.heartbeat import CampaignHeartbeat
 from repro.obs.instrument import CampaignObs, EngineObs, ObsOptions, SupervisorObs
@@ -56,6 +66,7 @@ __all__ = [
     "CampaignObs",
     "Counter",
     "EngineObs",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -67,7 +78,11 @@ __all__ = [
     "SupervisorObs",
     "Tracer",
     "derive_span_id",
+    "flight_dump_path",
+    "flight_spill_path",
     "get_registry",
+    "load_flight_dir",
+    "load_flight_dump",
     "load_spans",
     "merge_records",
     "new_trace_id",

@@ -1,0 +1,102 @@
+"""Campaign heartbeat: status-line content, throttling, guarded output."""
+
+import io
+
+import pytest
+
+from repro.obs.export import reset_export_warnings
+from repro.obs.heartbeat import CampaignHeartbeat, _fmt_eta, _fmt_rate
+
+
+@pytest.fixture(autouse=True)
+def clean_export_warnings():
+    reset_export_warnings()
+    yield
+    reset_export_warnings()
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        CampaignHeartbeat(interval_s=0.0)
+    with pytest.raises(ValueError):
+        CampaignHeartbeat(interval_s=-1.0)
+
+
+def test_status_line_zero_done():
+    hb = CampaignHeartbeat(stream=io.StringIO())
+    assert hb.status_line() == "[campaign] 0/? done"
+    hb.set_total(12)
+    assert hb.status_line() == "[campaign] 0/12 done"
+    # no completed replicas yet: no rate, no ETA
+    assert "ev/s" not in hb.status_line()
+    assert "ETA" not in hb.status_line()
+
+
+def test_status_line_counts_failed_and_quarantined():
+    hb = CampaignHeartbeat(stream=io.StringIO(), label="sweep")
+    hb.set_total(10)
+    hb.replica_done(events_fired=1000)
+    hb.replica_failed()
+    hb.replica_quarantined()  # counts toward done too
+    line = hb.status_line()
+    assert line.startswith("[sweep] 2/10 done")
+    assert "1 failed" in line
+    assert "1 quarantined" in line
+    assert "ev/s" in line
+
+
+def test_eta_excludes_replayed_replicas():
+    """Journal-replayed replicas arrive instantly; extrapolating from
+    them would fabricate an absurd ETA, so only fresh ones count."""
+    hb = CampaignHeartbeat(stream=io.StringIO())
+    hb.set_total(10)
+    for _ in range(4):
+        hb.replica_done(from_journal=True)
+    line = hb.status_line()
+    assert "4 from journal" in line
+    assert "ETA" not in line  # all done replicas are replays
+    hb.replica_done(events_fired=10)
+    assert "ETA" in hb.status_line()  # one fresh replica unlocks the ETA
+
+
+def test_degraded_stage_shown_only_when_abnormal():
+    hb = CampaignHeartbeat(stream=io.StringIO())
+    assert "degraded" not in hb.status_line()
+    hb.set_stage("normal")
+    assert "degraded" not in hb.status_line()
+    hb.set_stage("pause_submission")
+    assert "degraded: pause_submission" in hb.status_line()
+
+
+def test_beat_throttles_to_interval():
+    out = io.StringIO()
+    hb = CampaignHeartbeat(interval_s=3600.0, stream=out)
+    assert hb.beat() is True  # first beat always prints
+    assert hb.beat() is False  # throttled
+    assert hb.beat(force=True) is True  # force bypasses the throttle
+    assert hb.lines_printed == 2
+    assert len(out.getvalue().splitlines()) == 2
+
+
+def test_broken_stream_never_raises():
+    """The guarded_export path: a dead stderr degrades to silence."""
+
+    class Broken(io.StringIO):
+        def write(self, s):
+            raise OSError("broken pipe")
+
+    hb = CampaignHeartbeat(interval_s=0.001, stream=Broken())
+    hb.replica_done()
+    assert hb.beat(force=True) is False
+    assert hb.lines_printed == 0
+    assert hb.beat(force=True) is False  # still quiet, still no raise
+
+
+def test_fmt_helpers():
+    assert _fmt_eta(59) == "0:59"
+    assert _fmt_eta(61) == "1:01"
+    assert _fmt_eta(3661) == "1:01:01"
+    assert _fmt_eta(-5) == "0:00"
+    assert _fmt_rate(950) == "950"
+    assert _fmt_rate(184_000) == "184k"
+    assert _fmt_rate(2_500_000) == "2.5M"

@@ -425,3 +425,81 @@ def test_ext9_listed_and_dispatchable(capsys, monkeypatch):
     assert main(["ext9", "--reps", "2", "--seed", "5"]) == 0
     assert called["args"] == (2, 5)
     assert "EXT9" in capsys.readouterr().out
+
+
+# -- repro analyze ---------------------------------------------------------------
+
+
+def _run_forensic_campaign(tmp_path):
+    journal = str(tmp_path / "wal.jsonl")
+    flight_dir = str(tmp_path / "flight")
+    assert (
+        main(
+            ["campaign", "--reps", "3", "--mtbf", "8", "--periods", "5",
+             "--timesteps", "30",
+             "--fault-mix", "software=0.5", "node=0.3", "sdc=0.2",
+             "--verify-period", "5",
+             "--journal", journal, "--flight-dir", flight_dir]
+        )
+        == 0
+    )
+    return journal, flight_dir
+
+
+def test_campaign_flight_dir_writes_dumps(tmp_path, capsys):
+    import os
+
+    _, flight_dir = _run_forensic_campaign(tmp_path)
+    capsys.readouterr()
+    dumps = [f for f in os.listdir(flight_dir)
+             if f.startswith("flight-") and not f.endswith(".live.jsonl")]
+    assert len(dumps) == 3  # one final dump per replica
+    # completed replicas clean their live spills up
+    assert not [f for f in os.listdir(flight_dir) if f.endswith(".live.jsonl")]
+
+
+def test_analyze_end_to_end(tmp_path, capsys):
+    import json
+
+    journal, flight_dir = _run_forensic_campaign(tmp_path)
+    capsys.readouterr()
+    out_json = str(tmp_path / "analysis.json")
+    trace_out = str(tmp_path / "worst.trace.json")
+    assert (
+        main(["analyze", journal, "--flight-dir", flight_dir,
+              "--top", "2", "--json", out_json, "--trace-out", trace_out])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "FAULT FORENSICS POST-MORTEM" in out
+    assert "coverage" in out
+    with open(out_json) as fh:
+        analysis = json.load(fh)
+    assert analysis["totals"]["coverage"] >= 0.95
+    assert len(analysis["top_faults"]) <= 2
+    assert analysis["flight"]["dumps"] == 3
+    with open(trace_out) as fh:
+        trace = json.load(fh)
+    assert "traceEvents" in trace
+
+
+def test_analyze_missing_journal_exits_5(tmp_path, capsys):
+    import json
+
+    code = main(["analyze", str(tmp_path / "nope.jsonl")])
+    assert code == 5
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    summary = json.loads(captured.err)
+    assert summary["error"] == "analyze-journal-not-found"
+
+
+def test_analyze_unreadable_journal_exits_5(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("this is not a journal\n")
+    code = main(["analyze", str(bad)])
+    assert code == 5
+    summary = json.loads(capsys.readouterr().err)
+    assert summary["error"].startswith("analyze-journal-")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Merge pytest-benchmark ``--benchmark-json`` outputs into one summary.
+
+CI jobs run benchmark files in separate pytest invocations, each writing
+its own machine-generated JSON.  This folds any number of them into a
+single ``BENCH_summary.json`` artifact: one row per benchmark with the
+timing stats that matter for regression eyeballing (min/mean/stddev,
+rounds) plus each benchmark's ``extra_info`` — which is where the
+repo's overhead-bound benchmarks put their measured ratios.
+
+Usage::
+
+    python tools/bench_summary.py /tmp/bench/*.json --out BENCH_summary.json
+
+Stdlib-only by design: the aggregation must run on a bare CI python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def summarize_file(path: str) -> list[dict]:
+    """Rows for one pytest-benchmark JSON file (empty if unreadable)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_summary: skipping {path}: {exc}", file=sys.stderr)
+        return []
+    rows = []
+    for bench in data.get("benchmarks") or []:
+        stats = bench.get("stats") or {}
+        rows.append(
+            {
+                "file": os.path.basename(path),
+                "name": bench.get("name", ""),
+                "fullname": bench.get("fullname", bench.get("name", "")),
+                "min_s": stats.get("min"),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "extra_info": bench.get("extra_info") or {},
+            }
+        )
+    return rows
+
+
+def build_summary(paths: list[str]) -> dict:
+    rows: list[dict] = []
+    for path in paths:
+        rows.extend(summarize_file(path))
+    rows.sort(key=lambda r: (r["fullname"], r["file"]))
+    return {
+        "schema": "bench-summary/1",
+        "sources": [os.path.basename(p) for p in paths],
+        "count": len(rows),
+        "benchmarks": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="merge pytest-benchmark JSON outputs into one summary"
+    )
+    parser.add_argument("inputs", nargs="+", help="pytest-benchmark JSON files")
+    parser.add_argument(
+        "--out", required=True, help="summary JSON output path"
+    )
+    args = parser.parse_args(argv)
+    # outputs of this very script may glob-match the inputs on a re-run;
+    # never fold a summary into itself
+    inputs = [p for p in args.inputs if os.path.abspath(p) != os.path.abspath(args.out)]
+    summary = build_summary(inputs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"bench_summary: {summary['count']} benchmarks from "
+        f"{len(inputs)} files -> {args.out}"
+    )
+    return 0 if summary["count"] or not inputs else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
