@@ -93,6 +93,89 @@ def _parse_fault_mix(pairs: "list[str]") -> "dict[str, float]":
     return mix
 
 
+#: fault-config flat kwarg -> campaign-flag argparse dest (fields with a
+#: CLI flag; config-only fields like net_fault_split flow straight into
+#: the spec)
+_FAULT_CONFIG_DESTS = {
+    "burst_size": "burst_size",
+    "sdc_coverage": "sdc_coverage",
+    "sdc_correct_prob": "sdc_correct_prob",
+    "straggler_slowdown": "straggler_slowdown",
+    "straggler_repair_s": "straggler_repair",
+    "net_link_mtbf_s": "net_link_mtbf",
+    "net_repair_s": "net_repair_time",
+    "net_degrade_factor": "net_degrade_factor",
+    "net_loss_prob": "net_loss_prob",
+    "net_topology": "net_topology",
+}
+
+
+def _load_fault_config(path: str) -> dict:
+    """Read a structured fault-config file into flat campaign kwargs."""
+    from repro.faults.registry import campaign_kwargs_from_config
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            cfg = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"campaign: cannot read --fault-config: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"campaign: --fault-config is not valid JSON: {exc}")
+    try:
+        return campaign_kwargs_from_config(cfg)
+    except ValueError as exc:
+        raise SystemExit(f"campaign: bad --fault-config: {exc}")
+
+
+def _apply_fault_config(args) -> dict:
+    """Overlay the fault-config file onto *args* in place.
+
+    Precedence: explicit taxonomy flags > config file > built-in
+    defaults (a flag is "explicit" when its parsed value differs from
+    the parser default).  Returns the flat kwargs with no CLI flag of
+    their own (``fault_mix``, ``net_fault_split``) for the caller to
+    merge into the spec directly.
+    """
+    overrides = _load_fault_config(args.fault_config)
+    defaults = _build_parser().parse_args(["campaign"])
+    rest = {}
+    for key, value in overrides.items():
+        dest = _FAULT_CONFIG_DESTS.get(key)
+        if dest is None:
+            rest[key] = value
+        elif getattr(args, dest) == getattr(defaults, dest):
+            setattr(args, dest, value)
+    return rest
+
+
+def _format_faults_list() -> str:
+    """`repro faults list`: the registry's taxonomy, one domain per block."""
+    from repro.faults.registry import FAULT_KINDS, REGISTRY, spec_fields
+
+    lines = [
+        "registered fault domains (repro.faults; draw order: "
+        + " ".join(FAULT_KINDS)
+        + ")",
+        "",
+    ]
+    for info in REGISTRY:
+        kinds = " ".join(info.kinds) if info.kinds else "(no injectable kinds)"
+        lines.append(f"{info.name:<10s} {kinds}")
+        lines.append(f"    {info.summary}")
+        fields = spec_fields(info)
+        if fields:
+            knobs = ", ".join(f"{f.name}={f.default!r}" for f in fields)
+            lines.append(f"    config: {knobs}")
+        if info.hooks:
+            lines.append(f"    hooks:  {', '.join(info.hooks)}")
+        lines.append("")
+    lines.append(
+        "configure per-domain fields via `repro campaign --fault-config "
+        "FILE` (JSON: {\"mix\": {kind: weight}, \"<domain>\": {field: value}})"
+    )
+    return "\n".join(lines)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +228,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "fault-taxonomy mix as kind=weight pairs summing to 1 "
             "(kinds: software node sdc straggler burst link switch "
             "netdeg), e.g. --fault-mix node=0.5 link=0.5"
+        ),
+    )
+    camp.add_argument(
+        "--fault-config",
+        metavar="FILE",
+        help=(
+            "structured fault configuration (JSON): one section per "
+            "fault domain plus an optional top-level 'mix' (see `repro "
+            "faults list` for the domains and their fields).  Explicit "
+            "taxonomy flags override the file; the file overrides "
+            "built-in defaults"
         ),
     )
     camp.add_argument(
@@ -365,6 +459,16 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--trace-out",
         help="write a Chrome trace of the worst fault's recovery timeline",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="introspect the pluggable fault-domain registry"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser(
+        "list",
+        help="list registered fault domains, their kinds, config fields "
+        "and lifecycle hooks",
     )
 
     metrics = sub.add_parser(
@@ -637,6 +741,7 @@ def _run_campaign(args) -> tuple[str, int]:
             flight_dir=args.flight_dir,
             **snapshot_kwargs,
         )
+    cfg_rest = _apply_fault_config(args) if args.fault_config else {}
     spec_kwargs = dict(
         timesteps=args.timesteps,
         verify_period=args.verify_period,
@@ -652,8 +757,12 @@ def _run_campaign(args) -> tuple[str, int]:
         net_repair_s=args.net_repair_time,
         net_topology=args.net_topology,
     )
+    if "net_fault_split" in cfg_rest:
+        spec_kwargs["net_fault_split"] = cfg_rest["net_fault_split"]
     if args.fault_mix:
         spec_kwargs["fault_mix"] = _parse_fault_mix(args.fault_mix)
+    elif "fault_mix" in cfg_rest:
+        spec_kwargs["fault_mix"] = cfg_rest["fault_mix"]
     try:
         report = camp.run_grid(args.mtbf, args.periods, **spec_kwargs)
     finally:
@@ -793,6 +902,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if text:
             print(text)
         return code
+    if args.command == "faults":
+        print(_format_faults_list())
+        return 0
     if args.command == "metrics":
         from repro.obs.export import summarize_metrics
 

@@ -61,6 +61,13 @@ from repro.core.supervisor import (
     WriteAheadJournal,
 )
 from repro.des.snapshot import SnapshotStore
+from repro.faults.registry import (
+    FailStopSpec,
+    NetworkSpec,
+    SdcSpec,
+    StragglerSpec,
+    TornCheckpointSpec,
+)
 from repro.models import ConstantModel
 from repro.network import FullyConnected, Torus, TwoStageFatTree, link_count
 
@@ -84,6 +91,12 @@ class CampaignSpec:
     #: tuple so the spec stays frozen/hashable; pass a dict, it is
     #: normalised).  Empty = the two-kind ``software_fraction`` mix.
     fault_mix: tuple = ()
+    # -- per-domain fault knobs --------------------------------------------------------
+    # The flat fields below are DEPRECATED ALIASES: they remain the
+    # storage/serialization layer (the campaign spec hash and journal
+    # records are byte-stable functions of them), but new code should
+    # read the normalized per-domain view via :meth:`fault_domain_specs`
+    # and structured files via ``repro campaign --fault-config``.
     verify_period: int = 0          #: ABFT verification cadence (0 = off)
     verify_cost_s: float = 0.01     #: modeled verification-kernel cost
     sdc_coverage: float = 0.95      #: P(SDC strike is ABFT-detectable)
@@ -177,36 +190,67 @@ class CampaignSpec:
             )
         return FullyConnected(self.nranks)
 
+    def fault_domain_specs(self) -> dict:
+        """Normalized per-domain configuration view of the flat knobs.
+
+        Returns ``{domain name -> FaultDomainSpec}`` in registry order —
+        the authoritative in-memory shape of the fault configuration
+        (the flat fields are its deprecated serialization aliases).
+        """
+        return {
+            "failstop": FailStopSpec(burst_size=self.burst_size),
+            "sdc": SdcSpec(
+                coverage=self.sdc_coverage,
+                correct_prob=self.sdc_correct_prob,
+            ),
+            "straggler": StragglerSpec(
+                slowdown=self.straggler_slowdown,
+                repair_s=self.straggler_repair_s,
+            ),
+            "network": NetworkSpec(
+                link_mtbf_s=self.net_link_mtbf_s,
+                repair_s=self.net_repair_s,
+                degrade_factor=self.net_degrade_factor,
+                loss_prob=self.net_loss_prob,
+                fault_split=self.net_fault_split,
+            ),
+            "torn": TornCheckpointSpec(),
+        }
+
     def fault_model(self) -> FaultModel:
         """The (validated) failure process of this grid point.
 
-        With ``net_link_mtbf_s`` set, the per-link failure stream is
-        superposed onto the node stream
+        Built from the normalized :meth:`fault_domain_specs` so the
+        registry view is authoritative.  With ``net_link_mtbf_s`` set,
+        the per-link failure stream is superposed onto the node stream
         (:func:`~repro.core.fault_injection.fold_link_rate`): the
         effective MTBF and kind weights shift so network faults arrive
         at ``nlinks / link_mtbf`` while the configured mix keeps its
         relative shares.
         """
+        specs = self.fault_domain_specs()
+        failstop, sdc = specs["failstop"], specs["sdc"]
+        straggler, network = specs["straggler"], specs["network"]
         model = FaultModel(
             node_mtbf_s=self.node_mtbf_s,
             software_fraction=self.software_fraction,
             kind_weights=dict(self.fault_mix) if self.fault_mix else None,
-            sdc_coverage=self.sdc_coverage,
-            sdc_correct_prob=self.sdc_correct_prob,
-            straggler_slowdown=self.straggler_slowdown,
-            straggler_repair_s=self.straggler_repair_s,
-            burst_size=self.burst_size,
-            net_degrade_factor=self.net_degrade_factor,
-            net_loss_prob=self.net_loss_prob,
-            net_repair_s=self.net_repair_s,
+            sdc_coverage=sdc.coverage,
+            sdc_correct_prob=sdc.correct_prob,
+            straggler_slowdown=straggler.slowdown,
+            straggler_repair_s=straggler.repair_s,
+            burst_size=failstop.burst_size,
+            net_degrade_factor=network.degrade_factor,
+            net_loss_prob=network.loss_prob,
+            net_repair_s=network.repair_s,
         )
-        if self.net_link_mtbf_s > 0:
+        if network.link_mtbf_s > 0:
             model = fold_link_rate(
                 model,
                 nnodes=self.nnodes,
                 nlinks=link_count(self.build_topology()),
-                link_mtbf_s=self.net_link_mtbf_s,
-                split=self.net_fault_split or None,
+                link_mtbf_s=network.link_mtbf_s,
+                split=network.fault_split or None,
             )
         return model
 

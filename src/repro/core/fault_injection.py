@@ -48,15 +48,18 @@ from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
+from repro.faults.registry import FAULT_KINDS as _REGISTRY_KINDS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analytical.sparenodes import SpareNodeModel
     from repro.network.topology import Topology
 
-#: every fault kind the taxonomy knows, in canonical draw order (the
-#: order fixes the cumulative-weight walk, keeping draws deterministic
-#: under any input ordering of the mapping; new kinds append at the END
-#: so existing mixes keep their draw streams)
-FAULT_KINDS = ("software", "node", "sdc", "straggler", "burst", "link", "switch", "netdeg")
+#: every fault kind the taxonomy knows, in canonical draw order — owned
+#: by the fault-domain registry (``repro.faults.registry``): the order
+#: fixes the cumulative-weight walk of :meth:`FaultModel.draw_kind`,
+#: keeping draws deterministic under any input ordering of the mapping;
+#: new kinds append at the END so existing mixes keep their draw streams
+FAULT_KINDS = _REGISTRY_KINDS
 
 #: how a folded-in network failure rate splits across the network kinds:
 #: mostly link failures, occasional switch deaths, a steady trickle of

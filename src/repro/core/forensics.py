@@ -34,9 +34,13 @@ from typing import Optional
 
 from repro.analytical.youngdaly import expected_waste, two_error_waste_fraction
 from repro.core.fault_injection import FAULT_ROW_FIELDS
+from repro.faults.registry import FAILSTOP_KINDS, domain_for_kind
 
-#: fault kinds whose episodes the Young/Daly fail-stop model prices
-FAILSTOP_KINDS = frozenset({"software", "node", "burst"})
+#: FAILSTOP_KINDS (the kinds whose episodes the Young/Daly fail-stop
+#: model prices) comes from the fault-domain registry: forensics
+#: classifies kinds through ``domain_for_kind`` rather than its own
+#: copy of the taxonomy, so a new domain automatically flows through
+#: attribution.
 
 #: outlier threshold: |z| of a replica's waste vs its point's distribution
 OUTLIER_Z = 2.0
@@ -115,7 +119,7 @@ def reconstruct_chains(result: dict) -> list[FaultChain]:
     }
     strag_by_node: dict[int, list[int]] = {}
     for f in faults:
-        if f["kind"] == "straggler":
+        if domain_for_kind(f["kind"], None) == "straggler":
             strag_by_node.setdefault(int(f["node"]), []).append(f["id"])
     chains = []
     for f in faults:
@@ -141,7 +145,7 @@ def reconstruct_chains(result: dict) -> list[FaultChain]:
                     chain.outcome = ep["outcome"]
             else:
                 chain.contributes_to = ep["id"]
-        if f["kind"] == "straggler":
+        if domain_for_kind(f["kind"], None) == "straggler":
             siblings = strag_by_node[int(f["node"])]
             excess = excess_by_node.get(int(f["node"]), 0.0)
             chain.waste["straggler_s"] = excess / len(siblings)

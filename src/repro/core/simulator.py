@@ -90,6 +90,9 @@ from repro.des.component import Component
 from repro.des.engine import Engine
 from repro.des.event import Event
 from repro.des.snapshot import AutoSnapshotPolicy, Snapshot, SnapshotError
+from repro.faults.context import RecoveryContext
+from repro.faults.domains import build_domains
+from repro.faults.registry import MIN_LEVEL_FOR_KIND
 
 
 @dataclass
@@ -461,58 +464,6 @@ class _Rank(Component):
         raise RuntimeError("rank components do not use ports")
 
 
-@dataclass
-class _RecoveryEpisode:
-    """Mutable state of one fault episode (fault → recovered/requeued).
-
-    Nested faults extend the episode: they refresh ``kind`` (to the worst
-    severity seen) but keep ``fault_time``, the credited rework and the
-    cumulative ``attempts`` bound — the latter is what guarantees
-    termination under fault storms.
-    """
-
-    kind: str
-    fault_time: float
-    #: escalation ladder, frozen when the episode starts (each attempt's
-    #: rollback truncates newer restart history, so recomputing it per
-    #: attempt would shift the rung targets under the episode's feet)
-    ladder: list = field(default_factory=list)
-    attempts: int = 0
-    rung: int = 0                  #: escalation-ladder index
-    rework_credited: float = 0.0   #: lost progress already charged to waste
-    requeued: bool = False         #: waiting out a resubmission delay
-    #: detection-triggered SDC recovery: the ladder must skip checkpoints
-    #: written while the corruption was latent (sticky across nested-fault
-    #: kind merging — the corrupt data does not get cleaner because a
-    #: node also died)
-    avoid_corrupt: bool = False
-    # -- forensic bookkeeping (observation-only: derived from charges the
-    # -- lifecycle already makes, never feeding back into scheduling) ----
-    episode_id: int = -1
-    downtime_s: float = 0.0        #: detection/restore/retry delays charged here
-    requeue_s: float = 0.0         #: resubmission delays charged here
-    fault_ids: list = field(default_factory=list)  #: injector-log ids, primary first
-    phases: list = field(default_factory=list)     #: [t, phase, data] timeline
-
-
-#: per-episode phase timelines are bounded so a fault storm cannot grow
-#: a replica record without limit (the waste charges stay exact)
-_MAX_EPISODE_PHASES = 128
-
-
-#: fault-kind severity ordering for nested-fault merging (network kinds
-#: leave node storage intact, so they rank with the mild kinds)
-_KIND_SEVERITY = {
-    "software": 0,
-    "netdeg": 0,
-    "sdc": 1,
-    "link": 1,
-    "switch": 1,
-    "node": 2,
-    "burst": 3,
-}
-
-
 class BESSTSimulator:
     """Drives one BE-SST simulation of an AppBEO on an ArchBEO.
 
@@ -576,64 +527,23 @@ class BESSTSimulator:
         self._ranks: list[_Rank] = []
         self._finished = 0
         self._result: Optional[SimulationResult] = None
-        self.faults_injected = 0
-        self.rollbacks = 0
-        # fault-lifecycle state
-        self._recovery: Optional[_RecoveryEpisode] = None
-        self._recovery_event = None
-        self._recovery_rng = self.engine.rngs.get("__recovery__")
-        self._invalid_seqs: set[int] = set()
-        self._aborted = False
-        self._abort_time = 0.0
-        self._spares_left = self.policy.n_spares
-        self.nested_faults = 0
-        self.torn_checkpoints = 0
-        self.verify_failures = 0
-        self.escalations = 0
-        self.recovery_attempts = 0
-        self.requeues = 0
-        self.waste_rework = 0.0
-        self.waste_downtime = 0.0
-        self.waste_requeue = 0.0
-        # SDC / straggler state
-        self._sdc_rng = self.engine.rngs.get("__sdc__")
-        #: rank -> latent strikes: {"armed", "covered", "correctable", "event"}
-        self._sdc_latent: dict[int, list[dict]] = {}
-        #: globally committed checkpoint seqs written while corruption was latent
-        self._corrupt_seqs: set[int] = set()
-        #: node -> compute-clock slowdown factor (stragglers)
-        self._node_slowdown: dict[int, float] = {}
-        #: node -> generation token guarding stale straggler-repair events
-        self._straggler_token: dict[int, int] = {}
-        # forensic state (observation-only; nothing here touches a draw
-        # stream or schedules an event, so results are identical with or
-        # without a flight recorder attached)
-        self.episodes: list[dict] = []
-        self._episode_seq = 0
-        self.straggler_excess_s = 0.0
-        self._straggler_excess_by_node: dict[int, float] = {}
         self._flightrec = None
-        self.faults_by_kind: dict[str, int] = {}
-        self.sdc_injected = 0
-        self.sdc_detected = 0
-        self.sdc_corrected = 0
-        self.sdc_detect_latency_s = 0.0
-        # network fault-domain state
-        self._net_rng = self.engine.rngs.get("__net__")
-        #: ("node", endpoint) / ("edge", (a, b)) -> generation token
-        #: guarding stale network-repair events
-        self._net_token: dict[tuple, int] = {}
-        #: fast gate for the hot checkpoint-pricing path: True while any
-        #: overlay mutation from this fault domain may be active
-        self._net_active = False
-        self.net_faults = 0
-        self.net_repairs = 0
-        self.net_partition_stalls = 0
-        self.net_degraded_commits = 0
-        #: LogGP reroute/retransmit stats at construction — the model may
-        #: be shared across simulators, so run() reports the delta
-        p2p = getattr(getattr(archbeo, "comm", None), "p2p", None)
-        self._net_stats_base = dict(getattr(p2p, "stats", None) or {})
+        # Pluggable fault machinery: the shared recovery context owns the
+        # lifecycle (ladder walk, episodes, waste buckets, metric/forensic
+        # plumbing); one domain object per registered fault family owns
+        # the kind-specific state and behaviour (repro.faults).  Named RNG
+        # streams are keyed by name, not creation order, so the domains'
+        # draw streams are identical to the pre-refactor monolith.
+        self._ctx = RecoveryContext(self)
+        self._domains = build_domains(self, self._ctx)
+        self._ctx.domains = self._domains
+        self._domain_by_kind = {
+            kind: domain for domain in self._domains for kind in domain.kinds
+        }
+        by_name = {domain.name: domain for domain in self._domains}
+        # hot-path shortcuts (batch pricing reads these every event)
+        self._straggler_dom = by_name["straggler"]
+        self._net_dom = by_name["network"]
 
         program0 = self.appbeo.build(0, nranks, self.params)
         for r in range(nranks):
@@ -650,37 +560,35 @@ class BESSTSimulator:
         if self._finished == self.nranks and self.fault_injector is not None:
             self.fault_injector.detach()
 
-    #: minimum checkpoint level whose protection domain covers each fault
-    #: kind: software/transient crashes leave node storage intact (any
-    #: level), node losses and correlated bursts need partner/RS/PFS
-    #: protection (Table I); detected SDC restores from any level — the
-    #: data on disk is intact, it just has to be a *clean* version.
-    #: Network faults never touch storage, so any level recovers once
-    #: connectivity is back.
-    MIN_LEVEL_FOR_KIND = {
-        "software": 1,
-        "sdc": 1,
-        "node": 2,
-        "burst": 2,
-        "link": 1,
-        "switch": 1,
-        "netdeg": 1,
-    }
+    #: per-kind minimum recovery checkpoint level (see
+    #: ``repro.faults.registry`` for the rationale table)
+    MIN_LEVEL_FOR_KIND = MIN_LEVEL_FOR_KIND
 
     @property
     def wasted_time(self) -> float:
         """Total fault-attributable waste (rework + downtime + requeue)."""
-        return self.waste_rework + self.waste_downtime + self.waste_requeue
+        return self._ctx.wasted_time
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults injected so far (lifecycle counter on the context)."""
+        return self._ctx.faults_injected
+
+    @property
+    def rollbacks(self) -> int:
+        """Coordinated rollbacks performed so far."""
+        return self._ctx.rollbacks
 
     @property
     def state(self) -> str:
         """Lifecycle state: running | recovering | requeued | aborted | done."""
-        if self._aborted:
+        ctx = self._ctx
+        if ctx.aborted:
             return "aborted"
         if self._result is not None or self._finished == self.nranks:
             return "done"
-        if self._recovery is not None:
-            return "requeued" if self._recovery.requeued else "recovering"
+        if ctx.recovery is not None:
+            return "requeued" if ctx.recovery.requeued else "recovering"
         return "running"
 
     # -- forensics ---------------------------------------------------------------------
@@ -702,63 +610,40 @@ class BESSTSimulator:
         state["_flightrec"] = None  # open spill handle: reattach post-restore
         return state
 
-    def _forensic_note(self, what: str, **data) -> None:
-        rec = self._flightrec
-        if rec is not None:
-            rec.record(what, self.engine.now, **data)
+    # -- fault lifecycle ---------------------------------------------------------------
+    #
+    # The lifecycle itself lives in repro.faults (RecoveryContext + one
+    # domain per fault family).  What remains here is the registry
+    # dispatch in inject_fault plus the thin hot-path hooks the rank
+    # components call every batch/commit.
 
-    def _episode_phase(self, episode: _RecoveryEpisode, phase: str, **data) -> None:
-        """Append one phase to the episode timeline (bounded) and mirror
-        it into the flight recorder."""
-        if len(episode.phases) < _MAX_EPISODE_PHASES:
-            episode.phases.append([self.engine.now, phase, data])
-        self._forensic_note(phase, episode=episode.episode_id, **data)
-
-    def _close_episode(self, episode: _RecoveryEpisode, outcome: str) -> None:
-        """Freeze one finished recovery episode into a summary record.
-
-        The waste fields are the exact charges this episode made to the
-        simulator's rework/downtime/requeue buckets, so summing episode
-        waste reproduces the replica totals (the reconciliation invariant
-        ``core.forensics`` relies on).
-        """
-        self.episodes.append(
-            {
-                "id": episode.episode_id,
-                "kind": episode.kind,
-                "t_fault": episode.fault_time,
-                "t_end": self.engine.now,
-                "outcome": outcome,
-                "attempts": episode.attempts,
-                "rung": episode.rung,
-                "rework_s": episode.rework_credited,
-                "downtime_s": episode.downtime_s,
-                "requeue_s": episode.requeue_s,
-                "faults": [f for f in episode.fault_ids if f >= 0],
-                "phases": list(episode.phases),
-            }
-        )
-        self._forensic_note(
-            "episode_end", episode=episode.episode_id, outcome=outcome
-        )
-
-    def _new_episode(self, fid: int, **kwargs) -> _RecoveryEpisode:
-        episode = _RecoveryEpisode(episode_id=self._episode_seq, **kwargs)
-        self._episode_seq += 1
-        if fid >= 0:
-            episode.fault_ids.append(fid)
-        return episode
+    def _slowdown_for_rank(self, rank: int) -> float:
+        return self._straggler_dom.slowdown_for_rank(rank)
 
     def _note_straggler_excess(self, rank: int, excess: float) -> None:
-        """Credit one batch's straggler-inflated runtime (job-time share)."""
-        share = excess / self.nranks
-        self.straggler_excess_s += share
-        node = self.archbeo.node_of_rank(rank)
-        self._straggler_excess_by_node[node] = (
-            self._straggler_excess_by_node.get(node, 0.0) + share
-        )
+        self._straggler_dom.note_excess(rank, excess)
 
-    # -- fault lifecycle ---------------------------------------------------------------
+    @property
+    def _net_active(self) -> bool:
+        return self._net_dom.active
+
+    def _net_ckpt_factor(self, rank: int) -> float:
+        return self._net_dom.ckpt_factor(rank)
+
+    def _effective_ckpt_level(self, rank: int, level: int) -> int:
+        return self._net_dom.effective_ckpt_level(rank, level)
+
+    def _on_checkpoint_commit(self, rank: "_Rank", seq: int) -> bool:
+        for domain in self._domains:
+            if domain.on_checkpoint_commit(rank, seq):
+                return True
+        return False
+
+    def _on_verify_point(self, rank: "_Rank") -> bool:
+        for domain in self._domains:
+            if domain.on_verify_point(rank):
+                return True
+        return False
 
     def inject_fault(
         self,
@@ -769,42 +654,35 @@ class BESSTSimulator:
     ) -> None:
         """Coordinated, level-aware, lifecycle-realistic failure handling.
 
-        Fail-stop kinds (``software``/``node``/``burst``) start (or
-        re-enter, for nested faults) a recovery episode: every rank rolls
-        back to the newest *globally committed* checkpoint whose level
-        covers the fault *kind* and whose data survived torn writes — or
-        to the very beginning when no surviving checkpoint does.  Each
-        attempt pays the ArchBEO downtime plus one read-back of the
-        chosen checkpoint; failed verifications escalate L1 → L2 → L4 →
-        full restart, and exhausted attempts abort and requeue the job
-        (see :class:`RecoveryPolicy`).
-
-        ``sdc`` arms a latent corruption flag (nothing visible until a
-        detection point); ``straggler`` degrades the node's compute clock
-        until repair.  Neither interrupts execution at injection time.
+        The simulator core only dispatches: the kind is resolved to its
+        registered :class:`~repro.faults.domains.FaultDomain`, which owns
+        the semantics (see ``repro.faults``).  Fail-stop kinds
+        (``software``/``node``/``burst``) start (or re-enter, for nested
+        faults) a recovery episode walking the escalation ladder; ``sdc``
+        arms a latent corruption flag; ``straggler`` degrades the node's
+        compute clock until repair; ``link``/``switch``/``netdeg`` mutate
+        the topology health overlay.
 
         *detail* carries the kind-specific parameters drawn by the
-        injector (defaults applied when called directly); *event* is the
-        injector's log record, updated in place with detection outcomes.
+        injector (domain defaults applied when called directly); *event*
+        is the injector's log record, updated in place with detection
+        outcomes.
         """
-        if self._aborted or self._finished == self.nranks:
+        ctx = self._ctx
+        if ctx.aborted or self._finished == self.nranks:
             return
         if kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {kind!r}; expected "
                 f"{sorted(FAULT_KINDS)}"
             )
-        if self._recovery is not None and self._recovery.requeued:
+        if ctx.recovery is not None and ctx.recovery.requeued:
             # The job is sitting in the scheduler queue: node failures
             # during the resubmission window do not hit it.
             return
+        domain = self._domain_by_kind[kind]
         if detail is None:
-            if kind == "netdeg":
-                detail = FaultDetail(repair_s=30.0, derate=4.0, loss_prob=0.05)
-            elif kind in ("link", "switch"):
-                detail = FaultDetail(repair_s=30.0)
-            else:
-                detail = FaultDetail(victims=(node,), slowdown=2.0)
+            detail = domain.default_detail(kind, node)
         if event is None:
             event = FaultEvent(
                 self.engine.now,
@@ -813,9 +691,7 @@ class BESSTSimulator:
                 victims=detail.victims,
                 slowdown=detail.slowdown,
             )
-        self.faults_injected += 1
-        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
-        self._record_fault_metric(kind)
+        ctx.count_injection(kind)
         # Forensic fault id: the injector appends its log record before
         # dispatching here, so the id is simply that record's log index
         # (joined by identity, not by a parallel counter — early returns
@@ -825,649 +701,9 @@ class BESSTSimulator:
             log = self.fault_injector.log.entries
             if log and log[-1] is event:
                 fid = len(log) - 1
-        self._forensic_note("inject", fault=fid, fault_kind=kind, node=node)
-        if kind == "straggler":
-            self._apply_straggler(node, detail, event)
-            return
-        if kind == "sdc":
-            self._arm_sdc(node, detail, event, fid)
-            return
-        if kind in ("link", "switch", "netdeg"):
-            self._apply_net_fault(node, kind, detail, event, fid)
-            return
-        now = self.engine.now
-        for victim in detail.victims if kind == "burst" else (node,):
-            self._handle_torn(now, victim)
-        self._enter_recovery(kind, now, fid)
+        ctx.note("inject", fault=fid, fault_kind=kind, node=node)
+        domain.apply(kind, node, detail, event, fid)
 
-    def _enter_recovery(self, kind: str, now: float, fid: int = -1) -> None:
-        """Pause the whole job and enter (or re-enter) a recovery episode."""
-        # Pause the whole job: collectives, batches, pending resumes.
-        self.sync.reset(self.engine)
-        for rank in self._ranks:
-            rank.pause()
-        self._finished = 0
-        if self._recovery is not None:
-            # Nested fault: the recovery in flight is itself interrupted.
-            # Re-enter recovery, paying fresh downtime; the episode's
-            # attempt budget keeps accumulating so fault storms terminate.
-            self.nested_faults += 1
-            if self._recovery_event is not None:
-                self.engine.cancel(self._recovery_event)
-                self._recovery_event = None
-            episode = self._recovery
-            if fid >= 0:
-                episode.fault_ids.append(fid)
-            self._episode_phase(episode, "nested_fault", fault=fid, fault_kind=kind)
-            if _KIND_SEVERITY[kind] > _KIND_SEVERITY[episode.kind]:
-                episode.kind = kind
-                # A worse kind shrinks the candidate set; refresh the
-                # ladder so no rung points at an uncovered checkpoint.
-                episode.ladder = self._candidate_ladder(
-                    kind, avoid_corrupt=episode.avoid_corrupt
-                )
-            # The episode's fault_time and credited rework stand: ranks
-            # are paused during recovery, so the nested fault exposes no
-            # new lost progress — only fresh downtime (charged below).
-        else:
-            self._recovery = self._new_episode(
-                fid, kind=kind, fault_time=now, ladder=self._candidate_ladder(kind)
-            )
-            self._episode_phase(self._recovery, "detect", fault=fid, fault_kind=kind)
-        self._start_attempt()
-
-    # -- stragglers --------------------------------------------------------------------
-
-    def _slowdown_for_rank(self, rank: int) -> float:
-        if not self._node_slowdown:
-            return 1.0
-        return self._node_slowdown.get(self.archbeo.node_of_rank(rank), 1.0)
-
-    def _apply_straggler(self, node: int, detail: FaultDetail, event: FaultEvent) -> None:
-        """Degrade *node*'s compute clock; schedule its repair."""
-        self._node_slowdown[node] = max(
-            self._node_slowdown.get(node, 1.0), detail.slowdown
-        )
-        token = self._straggler_token.get(node, 0) + 1
-        self._straggler_token[node] = token
-        if detail.repair_s > 0:
-            # Token-guarded: a newer straggler on the same node outdates
-            # this repair (the node stays degraded until the *last* one
-            # is fixed).
-            self.engine.schedule(
-                detail.repair_s, self._straggler_repaired, payload=(node, token)
-            )
-
-    def _straggler_repaired(self, ev: Event) -> None:
-        node, token = ev.payload
-        if self._straggler_token.get(node) != token:
-            return  # a newer degradation superseded this repair
-        self._node_slowdown.pop(node, None)
-
-    # -- network fault domain ----------------------------------------------------------
-
-    def _net_endpoints_of_node(self, node: int) -> list[int]:
-        """Topology endpoints owned by compute node *node*.
-
-        Two conventions coexist: when the topology spans exactly the
-        rank count it is a rank-level network (endpoints = the node's
-        ranks); otherwise it is a node-level network (endpoint = the
-        node id, when in range).
-        """
-        topo = self.archbeo.topology
-        if topo.num_nodes == self.nranks:
-            cpn = max(1, self.archbeo.cores_per_node)
-            return [
-                r for r in range(node * cpn, (node + 1) * cpn) if r < self.nranks
-            ]
-        return [node] if node < topo.num_nodes else []
-
-    def _net_participants(self) -> list[int]:
-        """Every topology endpoint the job's ranks live on — the set
-        that must rendezvous for collectives and checkpoint commits."""
-        topo = self.archbeo.topology
-        if topo.num_nodes == self.nranks:
-            return list(range(self.nranks))
-        return sorted(
-            {
-                self.archbeo.node_of_rank(r)
-                for r in range(self.nranks)
-                if self.archbeo.node_of_rank(r) < topo.num_nodes
-            }
-        )
-
-    def _net_draw_edge(self, node: int) -> Optional[tuple[int, int]]:
-        """Deterministically pick the victim link of a fault seeded at
-        *node*: a uniform draw (engine-seeded ``__net__`` stream) over
-        the sorted baseline neighbours of the node's first endpoint."""
-        topo = self.archbeo.topology
-        eps = self._net_endpoints_of_node(node)
-        ep = eps[0] if eps else int(self._net_rng.integers(0, topo.num_nodes))
-        nbrs = sorted(topo.neighbors(ep))
-        if not nbrs:
-            return None
-        peer = int(nbrs[int(self._net_rng.integers(0, len(nbrs)))])
-        return (min(ep, peer), max(ep, peer))
-
-    def _apply_net_fault(
-        self,
-        node: int,
-        kind: str,
-        detail: FaultDetail,
-        event: FaultEvent,
-        fid: int = -1,
-    ) -> None:
-        """Mutate the health overlay for one network fault and schedule
-        its repair; enter recovery when the job is partitioned."""
-        now = self.engine.now
-        h = self.archbeo.topology.health()
-        victims: list[tuple] = []
-        if kind == "switch":
-            eps = self._net_endpoints_of_node(node)
-            if not eps:
-                event.outcome = "no_effect"
-                return
-            for ep in eps:
-                h.fail_node(ep)
-                victims.append(("node", ep))
-        else:
-            edge = tuple(int(e) for e in detail.edge) or self._net_draw_edge(node)
-            if edge is None:
-                event.outcome = "no_effect"  # e.g. single-endpoint topology
-                return
-            if kind == "link":
-                h.fail_link(*edge)
-            else:
-                h.degrade_link(
-                    edge[0],
-                    edge[1],
-                    derate=detail.derate,
-                    loss_prob=detail.loss_prob,
-                )
-            victims.append(("edge", edge))
-        self._net_active = True
-        self.net_faults += 1
-        if detail.repair_s > 0:
-            for victim in victims:
-                # Token-guarded like straggler repairs: a newer fault on
-                # the same link/endpoint outdates this repair.
-                token = self._net_token.get(victim, 0) + 1
-                self._net_token[victim] = token
-                self.engine.schedule(
-                    detail.repair_s, self._net_repaired, payload=(victim, token)
-                )
-        self._net_update_gauges(h)
-        # Degradations never partition; hard failures may cut the
-        # participant set in two — then the job cannot rendezvous and
-        # the existing escalation ladder takes over.
-        if kind in ("link", "switch") and h.group_partitioned(
-            self._net_participants()
-        ):
-            self.net_partition_stalls += 1
-            self._record_net_stall()
-            event.outcome = "partitioned"
-            self._enter_recovery(kind, now, fid)
-
-    def _net_repaired(self, ev: Event) -> None:
-        victim, token = ev.payload
-        if self._net_token.get(victim) != token:
-            return  # a newer fault on the same victim superseded this repair
-        h = self.archbeo.topology._health
-        if h is None:
-            return
-        vtype, vid = victim
-        if vtype == "node":
-            h.repair_node(vid)
-        else:
-            h.repair_link(*vid)
-        self.net_repairs += 1
-        if h.healthy:
-            self._net_active = False
-        self._net_update_gauges(h)
-
-    def _net_blocked(self) -> bool:
-        """True while the participant set cannot rendezvous (resuming
-        from recovery would hang on the first collective)."""
-        h = self.archbeo.topology._health
-        if h is None or h.healthy:
-            return False
-        return h.group_partitioned(self._net_participants())
-
-    def _net_partner(self, rank: int) -> tuple[int, int]:
-        """(src, dst) endpoints of *rank*'s partner-copy checkpoint
-        traffic (next node over, FTI L2 partner semantics)."""
-        topo = self.archbeo.topology
-        if topo.num_nodes == self.nranks:
-            cpn = max(1, self.archbeo.cores_per_node)
-            return rank, (rank + cpn) % self.nranks
-        src = self.archbeo.node_of_rank(rank)
-        if src >= topo.num_nodes:
-            return src, src
-        return src, (src + 1) % topo.num_nodes
-
-    def _net_ckpt_factor(self, rank: int) -> float:
-        """Degraded-network cost multiplier for one rank's L2+ checkpoint
-        write (the partner copy crosses the faulty fabric)."""
-        h = self.archbeo.topology._health
-        if h is None or h.healthy:
-            return 1.0
-        src, dst = self._net_partner(rank)
-        if src == dst or h.is_partitioned(src, dst):
-            # Unreachable partner: the copy is skipped, not slowed — the
-            # commit degrades to an effective L1 instead (_on_batch_done).
-            return 1.0
-        p2p = getattr(getattr(self.archbeo, "comm", None), "p2p", None)
-        if p2p is None or not hasattr(p2p, "p2p_penalty"):
-            return 1.0
-        return max(1.0, float(p2p.p2p_penalty(src, dst)))
-
-    def _effective_ckpt_level(self, rank: int, level: int) -> int:
-        """The protection level a checkpoint commit actually achieved:
-        an L2+ instance whose partner copy cannot cross a partition
-        degrades to node-local (level 1) protection."""
-        if level < 2 or not self._net_active:
-            return level
-        h = self.archbeo.topology._health
-        if h is None or h.healthy:
-            return level
-        src, dst = self._net_partner(rank)
-        if src != dst and h.is_partitioned(src, dst):
-            self.net_degraded_commits += 1
-            return 1
-        return level
-
-    def _net_reset(self) -> None:
-        """Back to a healthy fabric (requeued onto a repaired machine)."""
-        self._net_token.clear()
-        self._net_active = False
-        h = self.archbeo.topology._health
-        if h is not None and not h.healthy:
-            h.reset()
-            self._net_update_gauges(h)
-
-    def _net_update_gauges(self, h) -> None:
-        from repro.obs.metrics import get_registry
-
-        reg = get_registry()
-        reg.gauge(
-            "net_links_failed", help="Links currently out of service."
-        ).set(float(len(h.failed_links)))
-        reg.gauge(
-            "net_links_degraded", help="Links currently de-rated or lossy."
-        ).set(float(len(h.degraded)))
-        _stretch, derate, _loss = h.aggregate_penalty()
-        reg.gauge(
-            "net_bandwidth_derate",
-            help="Worst active bandwidth de-rate factor (1 = full speed).",
-        ).set(float(derate))
-
-    def _record_net_stall(self) -> None:
-        from repro.obs.metrics import get_registry
-
-        get_registry().counter(
-            "net_partition_stalls_total",
-            help="Recovery attempts stalled by a partitioned participant set.",
-        ).inc()
-
-    # -- silent data corruption --------------------------------------------------------
-
-    def _arm_sdc(
-        self, node: int, detail: FaultDetail, event: FaultEvent, fid: int = -1
-    ) -> None:
-        """Arm a latent corruption flag on the first rank of *node*."""
-        self.sdc_injected += 1
-        victim = next(
-            (
-                r.rank
-                for r in self._ranks
-                if self.archbeo.node_of_rank(r.rank) == node
-            ),
-            None,
-        )
-        if victim is None:
-            # The strike hit memory no simulated rank owns: benign.
-            event.outcome = "no_effect"
-            return
-        self._sdc_latent.setdefault(victim, []).append(
-            {
-                "armed": self.engine.now,
-                "covered": detail.covered,
-                "correctable": detail.correctable,
-                "event": event,
-                "fid": fid,
-            }
-        )
-
-    def _on_checkpoint_commit(self, rank: "_Rank", seq: int) -> bool:
-        """A rank committed checkpoint *seq*.
-
-        A flagged rank bakes its corruption into the written version
-        (the whole global instance becomes unusable as a clean restart
-        point).  With write validation enabled, the corrupt write is a
-        secondary detection point.  Returns True when detection started
-        a recovery episode (the caller must not advance).
-        """
-        strikes = self._sdc_latent.get(rank.rank)
-        if not strikes:
-            return False
-        self._corrupt_seqs.add(seq)
-        if self.policy.ckpt_validate_prob > 0 and any(
-            s["covered"] for s in strikes
-        ):
-            caught = (
-                float(self._sdc_rng.random()) < self.policy.ckpt_validate_prob
-            )
-            if caught:
-                return self._sdc_detect(rank, path="ckpt_validate")
-        return False
-
-    def _on_verify_point(self, rank: "_Rank") -> bool:
-        """A rank committed an ABFT Verify kernel — the primary detector.
-
-        Returns True when detection started a recovery episode.
-        """
-        if not self._sdc_latent.get(rank.rank):
-            return False
-        return self._sdc_detect(rank, path="verify")
-
-    def _sdc_detect(self, rank: "_Rank", path: str) -> bool:
-        """Observe *rank*'s covered latent strikes at a detection point.
-
-        All covered strikes are detected together (the checksum check
-        sees the accumulated damage).  If every one is within ABFT's
-        correction capability, they are fixed in place; otherwise the
-        job enters a recovery episode that rolls back past the last
-        clean checkpoint.  Uncovered strikes stay latent — the detector
-        cannot see them.
-        """
-        if self._recovery is not None:
-            return False
-        strikes = self._sdc_latent.get(rank.rank, [])
-        covered = [s for s in strikes if s["covered"]]
-        if not covered:
-            return False
-        now = self.engine.now
-        all_correctable = all(s["correctable"] for s in covered)
-        for s in covered:
-            self.sdc_detected += 1
-            latency = now - s["armed"]
-            self.sdc_detect_latency_s += latency
-            ev = s["event"]
-            ev.detected_time = now
-            ev.outcome = "corrected" if all_correctable else "rolled_back"
-            self._record_sdc_detection(path, latency, ev.outcome)
-        if all_correctable:
-            self.sdc_corrected += len(covered)
-            self._forensic_note(
-                "sdc_corrected", rank=rank.rank, path=path, n=len(covered)
-            )
-            remaining = [s for s in strikes if not s["covered"]]
-            if remaining:
-                self._sdc_latent[rank.rank] = remaining
-            else:
-                del self._sdc_latent[rank.rank]
-            return False
-        # Rollback path: pause the job and recover, skipping checkpoints
-        # written while the corruption was latent.
-        self.sync.reset(self.engine)
-        for r in self._ranks:
-            r.pause()
-        self._finished = 0
-        episode = self._new_episode(
-            -1,
-            kind="sdc",
-            fault_time=now,
-            ladder=self._candidate_ladder("sdc", avoid_corrupt=True),
-            avoid_corrupt=True,
-        )
-        episode.fault_ids.extend(
-            s["fid"] for s in covered if s.get("fid", -1) >= 0
-        )
-        self._recovery = episode
-        self._episode_phase(episode, "detect", path=path, n=len(covered))
-        self._start_attempt()
-        return True
-
-    def _record_fault_metric(self, kind: str) -> None:
-        """Per-kind injection counter in the process-global obs registry.
-        Lazily imported: faults are rare relative to simulation events."""
-        from repro.obs.metrics import get_registry
-
-        get_registry().counter(
-            "fault_injected_total",
-            help="Faults injected into the simulator, by kind.",
-            kind=kind,
-        ).inc()
-
-    def _record_sdc_detection(self, path: str, latency: float, outcome: str) -> None:
-        from repro.obs.metrics import get_registry
-
-        reg = get_registry()
-        reg.counter(
-            "sdc_detected_total",
-            help="Latent SDC strikes observed, by detection path and outcome.",
-            path=path,
-            outcome=outcome,
-        ).inc()
-        reg.histogram(
-            "sdc_detection_latency_s",
-            help="Injection-to-detection latency of observed SDC strikes.",
-        ).observe(latency)
-
-    def _handle_torn(self, now: float, node: int) -> None:
-        """Invalidate checkpoints torn by a fault at *now*.
-
-        The in-progress instance never commits (its batch is cancelled).
-        Additionally, with in-place L1 writes, a rank mid-L1-checkpoint
-        on the failed node has already destroyed its previous local copy;
-        if that previous committed checkpoint is only L1-protected, the
-        whole instance becomes unusable as a restart point (L1 recovery
-        needs every node's copy).
-        """
-        for rank in self._ranks:
-            level = rank.checkpoint_in_progress(now)
-            if level is None:
-                continue
-            self.torn_checkpoints += 1
-            self._forensic_note("torn_checkpoint", rank=rank.rank, level=level)
-            if (
-                level == 1
-                and self.policy.l1_inplace_writes
-                and self.archbeo.node_of_rank(rank.rank) == node
-            ):
-                seq = rank.ckpt_seq
-                if seq > 0 and rank.restart_history[seq][4] == 1:
-                    self._invalid_seqs.add(seq)
-
-    def _candidate_ladder(self, kind: str, avoid_corrupt: bool = False) -> list[int]:
-        """Restart candidates, newest-first along the escalation ladder.
-
-        One rung per protection tier (L1, L2, L4) at or above the fault
-        kind's minimum level, each resolved to the newest globally
-        committed, non-torn checkpoint covered by that tier; the final
-        rung is always 0 — full restart from the input deck.  With
-        *avoid_corrupt* (detected-SDC recovery) checkpoints written while
-        the corruption was latent are skipped too: recovery reaches past
-        the newest checkpoint to the last *clean* version.
-        """
-        min_level = self.MIN_LEVEL_FOR_KIND[kind]
-        seq_star = min(r.ckpt_seq for r in self._ranks)
-        committed: list[tuple[int, int]] = []
-        for seq in range(seq_star, 0, -1):
-            if seq in self._invalid_seqs:
-                continue
-            if avoid_corrupt and seq in self._corrupt_seqs:
-                continue
-            entries = [r.restart_history.get(seq) for r in self._ranks]
-            if any(e is None for e in entries):
-                continue
-            committed.append((seq, entries[0][4]))
-        ladder: list[int] = []
-        for tier in (1, 2, 4):
-            if tier < min_level:
-                continue
-            for seq, level in committed:
-                if level >= tier:
-                    if seq not in ladder:
-                        ladder.append(seq)
-                    break
-        ladder.append(0)
-        return ladder
-
-    def _start_attempt(self) -> None:
-        """Begin one recovery attempt: roll back, pay downtime, verify."""
-        episode = self._recovery
-        episode.attempts += 1
-        if episode.attempts > self.policy.max_attempts:
-            self._requeue_or_abort()
-            return
-        self.recovery_attempts += 1
-        seq = episode.ladder[min(episode.rung, len(episode.ladder) - 1)]
-        delay = self.archbeo.recovery_time_s + self.policy.retry_extra_delay(
-            episode.attempts
-        )
-        self._charge_rework(episode, seq)
-        self.waste_downtime += delay
-        episode.downtime_s += delay
-        self._episode_phase(
-            episode, "attempt", n=episode.attempts, rung=episode.rung,
-            seq=seq, delay=delay,
-        )
-        self.rollbacks += 1
-        # Verification is scheduled before the per-rank resumes so it
-        # fires first on timestamp ties (deterministic seq ordering).
-        self._recovery_event = self.engine.schedule(
-            delay, self._verify_attempt, payload=seq
-        )
-        for rank in self._ranks:
-            ckpt_cost = rank.restart_history[seq][3]
-            rank.rollback(seq, delay + ckpt_cost)
-
-    def _charge_rework(self, episode: _RecoveryEpisode, seq: int) -> None:
-        """Charge newly exposed lost progress (relative to the episode's
-        latest fault) to the rework-waste bucket, without double-counting
-        across escalating attempts."""
-        lost = sum(
-            (episode.fault_time - rank.restart_history[seq][2]) / self.nranks
-            for rank in self._ranks
-        )
-        if lost > episode.rework_credited:
-            self.waste_rework += lost - episode.rework_credited
-            episode.rework_credited = lost
-
-    def _verify_attempt(self, ev: Event) -> None:
-        """Read-back verification at the end of one recovery attempt."""
-        self._recovery_event = None
-        episode = self._recovery
-        seq = ev.payload
-        ok = (
-            seq == 0  # restart from the input deck: nothing to verify
-            or self.policy.verify_fail_prob <= 0.0
-            or float(self._recovery_rng.random()) >= self.policy.verify_fail_prob
-        )
-        if ok and self._net_blocked():
-            # The data verified, but the participant set is still
-            # partitioned: resuming would hang on the first rendezvous.
-            # Stall in recovery (one attempt consumed — the episode's
-            # attempt budget bounds the wait) until a repair restores
-            # connectivity or the job requeues onto a healthy fabric.
-            self.net_partition_stalls += 1
-            self._record_net_stall()
-            self._episode_phase(episode, "partition_stall", seq=seq)
-            for rank in self._ranks:
-                rank.pause()
-            self._start_attempt()
-            return
-        if ok:
-            # Checkpoints discarded by the rollback may get their sequence
-            # numbers reused; drop their stale torn- and corrupt-markers.
-            self._invalid_seqs = {q for q in self._invalid_seqs if q <= seq}
-            self._corrupt_seqs = {q for q in self._corrupt_seqs if q <= seq}
-            if seq not in self._corrupt_seqs:
-                # The restored state predates every surviving latent
-                # strike (a strike armed before this checkpoint's commit
-                # would have tainted it), so the rewind erases them all.
-                self._clear_latent_sdc("erased")
-            self._episode_phase(episode, "verify_ok", seq=seq)
-            self._close_episode(episode, "recovered")
-            self._recovery = None
-            return  # ranks resume on their already-scheduled events
-        self.verify_failures += 1
-        self.escalations += 1
-        episode.rung += 1
-        self._episode_phase(episode, "verify_fail", seq=seq, rung=episode.rung)
-        for rank in self._ranks:
-            rank.pause()  # cancel the resumes; stay in recovery
-        self._start_attempt()
-
-    def _requeue_or_abort(self) -> None:
-        """Recovery exhausted: resubmit the job, or give up."""
-        episode = self._recovery
-        if self.requeues >= self.policy.max_requeues:
-            self._abort()
-            return
-        self.requeues += 1
-        delay = self.policy.requeue_delay_s
-        if episode.kind in ("node", "burst"):
-            if self._spares_left > 0:
-                self._spares_left -= 1
-                delay += self.policy.spare_swap_s
-            else:
-                # Graceful degradation: no spare left — stall for a full
-                # node rebuild instead of failing the resubmission.
-                delay += self.policy.spare_rebuild_s
-        self.waste_requeue += delay
-        episode.requeue_s += delay
-        self._charge_rework(episode, 0)
-        self.rollbacks += 1
-        episode.requeued = True
-        self._episode_phase(
-            episode, "requeue", delay=delay, spares_left=self._spares_left
-        )
-        self._recovery_event = self.engine.schedule(delay, self._requeue_done)
-
-    def _requeue_done(self, ev: Event) -> None:
-        """The resubmitted job starts from the input deck."""
-        self._recovery_event = None
-        episode = self._recovery
-        self._episode_phase(episode, "requeue_done")
-        self._close_episode(episode, "requeued")
-        self._recovery = None
-        self._invalid_seqs.clear()
-        self._corrupt_seqs.clear()
-        self._clear_latent_sdc("erased")
-        # The repaired allocation has no degraded nodes either, and its
-        # fabric is healthy.
-        self._node_slowdown.clear()
-        self._net_reset()
-        if self.fault_injector is not None:
-            self.fault_injector.notify_requeue()
-        for rank in self._ranks:
-            rank.rollback(0, 0.0)
-
-    def _clear_latent_sdc(self, outcome: str) -> None:
-        """Drop every latent strike (a rewind restored clean state),
-        recording *outcome* on events that never reached a detector."""
-        for strikes in self._sdc_latent.values():
-            for s in strikes:
-                ev = s["event"]
-                if not ev.outcome:
-                    ev.outcome = outcome
-        self._sdc_latent.clear()
-
-    def _abort(self) -> None:
-        """Requeues exhausted: the job is lost.  Ranks stay paused, the
-        event queue drains, and :meth:`run` reports ``completed=False``
-        instead of raising."""
-        self._aborted = True
-        self._abort_time = self.engine.now
-        episode = self._recovery
-        if episode is not None:
-            self._episode_phase(episode, "abort")
-            self._close_episode(episode, "aborted")
-        self._recovery = None
-        if self.fault_injector is not None:
-            self.fault_injector.detach()
 
     # -- snapshot / restore -----------------------------------------------------------------
 
@@ -1527,47 +763,28 @@ class BESSTSimulator:
         if self._result is not None:
             return self._result
         self.engine.run(max_events=max_events)
-        if not self._aborted:
+        ctx = self._ctx
+        if not ctx.aborted:
             unfinished = [r.rank for r in self._ranks if not r.done]
             if unfinished:
                 raise RuntimeError(
                     f"simulation ended with unfinished ranks {unfinished[:5]}"
                 )
         tl0 = self._ranks[0].timeline
-        # Strikes still latent when the job "finishes" were never seen by
-        # any detector: the run produced a wrong result.
-        sdc_undetected = 0
-        for strikes in self._sdc_latent.values():
-            for s in strikes:
-                sdc_undetected += 1
-                ev = s["event"]
-                if not ev.outcome:
-                    ev.outcome = "undetected"
-        wrong_result = (not self._aborted) and sdc_undetected > 0
-        if wrong_result:
-            self._record_wrong_result()
-            self._forensic_note("wrong_result", undetected=sdc_undetected)
-        # LogGP reroute/retransmit accounting: the model may be shared
-        # across simulators, so report the delta against construction.
-        p2p = getattr(getattr(self.archbeo, "comm", None), "p2p", None)
-        stats = getattr(p2p, "stats", None) or {}
-        net_reroutes = int(
-            stats.get("reroutes", 0.0) - self._net_stats_base.get("reroutes", 0.0)
-        )
-        net_retransmits = float(
-            stats.get("retransmits", 0.0)
-            - self._net_stats_base.get("retransmits", 0.0)
-        )
-        if net_reroutes or net_retransmits:
-            self._record_net_traffic(net_reroutes, net_retransmits)
+        # Lifecycle counters come from the recovery context; each fault
+        # domain contributes its own fields (in registry order, which
+        # also fixes the order of end-of-run metric emission).
+        fields = ctx.result_fields()
+        for domain in self._domains:
+            fields.update(domain.result_fields())
         self._result = SimulationResult(
             total_time=(
-                self._abort_time
-                if self._aborted
+                ctx.abort_time
+                if ctx.aborted
                 else max(r.finish_time for r in self._ranks)
             ),
             finish_times=(
-                [] if self._aborted else [r.finish_time for r in self._ranks]
+                [] if ctx.aborted else [r.finish_time for r in self._ranks]
             ),
             timelines={r.rank: r.timeline for r in self._ranks if r.record},
             nranks=self.nranks,
@@ -1575,60 +792,7 @@ class BESSTSimulator:
             checkpoint_time=tl0.time_in("checkpoint"),
             compute_time=tl0.time_in("compute") + tl0.time_in("exchange"),
             collective_time=tl0.time_in("collective"),
-            faults_injected=self.faults_injected,
-            rollbacks=self.rollbacks,
-            wasted_time=self.wasted_time,
-            completed=not self._aborted,
-            nested_faults=self.nested_faults,
-            torn_checkpoints=self.torn_checkpoints,
-            verify_failures=self.verify_failures,
-            escalations=self.escalations,
-            recovery_attempts=self.recovery_attempts,
-            requeues=self.requeues,
-            waste_rework=self.waste_rework,
-            waste_downtime=self.waste_downtime,
-            waste_requeue=self.waste_requeue,
             verify_time=tl0.time_in("verify"),
-            faults_by_kind=dict(sorted(self.faults_by_kind.items())),
-            sdc_injected=self.sdc_injected,
-            sdc_detected=self.sdc_detected,
-            sdc_corrected=self.sdc_corrected,
-            sdc_undetected=sdc_undetected,
-            wrong_result=wrong_result,
-            sdc_detect_latency_s=self.sdc_detect_latency_s,
-            net_faults=self.net_faults,
-            net_repairs=self.net_repairs,
-            net_partition_stalls=self.net_partition_stalls,
-            net_degraded_commits=self.net_degraded_commits,
-            net_reroutes=net_reroutes,
-            net_retransmits=net_retransmits,
-            episodes=list(self.episodes),
-            straggler_excess_s=self.straggler_excess_s,
-            straggler_excess_by_node=dict(
-                sorted(self._straggler_excess_by_node.items())
-            ),
+            **fields,
         )
         return self._result
-
-    def _record_net_traffic(self, reroutes: int, retransmits: float) -> None:
-        from repro.obs.metrics import get_registry
-
-        reg = get_registry()
-        if reroutes:
-            reg.counter(
-                "net_reroutes_total",
-                help="Messages priced over a detour around a network fault.",
-            ).inc(reroutes)
-        if retransmits:
-            reg.counter(
-                "net_retransmits_total",
-                help="Expected retransmissions on lossy (degraded) routes.",
-            ).inc(retransmits)
-
-    def _record_wrong_result(self) -> None:
-        from repro.obs.metrics import get_registry
-
-        get_registry().counter(
-            "sim_wrong_result_total",
-            help="Runs that finished carrying undetected silent corruption.",
-        ).inc()

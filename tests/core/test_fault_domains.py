@@ -1,0 +1,254 @@
+"""The pluggable fault-domain subsystem: registry, protocol, config.
+
+Covers the ``repro.faults`` extraction: registry consistency (every
+kind owned by exactly one domain, canonical draw order preserved),
+``FaultModel.kind_weights`` validation edges (single-kind mixes, the
+1e-6 sum tolerance at its exact boundary, unknown-kind messages),
+the :class:`FaultDomain` protocol (dispatch, state snapshot/restore,
+wiring-attr rejection), :class:`NodeRangeError` surfacing through the
+``NetworkDomain`` injection path, structured fault-config parsing, and
+the ``repro faults list`` / ``--fault-config`` CLI layer.
+"""
+
+import json
+
+import pytest
+
+from repro.core import FaultDetail, RecoveryPolicy
+from repro.core.campaign import CampaignSpec, build_campaign_simulator
+from repro.core.fault_injection import FAULT_KINDS, FaultModel
+from repro.faults.registry import (
+    KIND_TO_DOMAIN,
+    REGISTRY,
+    campaign_kwargs_from_config,
+    domain_for_kind,
+    kinds_of,
+)
+from repro.network.topology import NodeRangeError
+
+
+def _sim(**kw):
+    base = dict(
+        node_mtbf_s=1e9,
+        ckpt_period=5,
+        nranks=4,
+        nnodes=2,
+        timesteps=10,
+        net_topology="torus",
+    )
+    base.update(kw)
+    spec = CampaignSpec(**base)
+    policy = RecoveryPolicy(verify_fail_prob=0.0)
+    return build_campaign_simulator(spec, 0, policy, inject=False)
+
+
+# -- registry consistency ----------------------------------------------------------
+
+
+def test_every_kind_owned_by_exactly_one_domain():
+    seen = {}
+    for info in REGISTRY:
+        for kind in info.kinds:
+            assert kind not in seen, f"{kind} owned by {seen[kind]} and {info.name}"
+            seen[kind] = info.name
+    assert set(seen) == set(FAULT_KINDS)
+    assert seen == dict(KIND_TO_DOMAIN)
+
+
+def test_kinds_of_preserves_draw_order():
+    for info in REGISTRY:
+        ordered = kinds_of(info.name)
+        assert ordered == tuple(k for k in FAULT_KINDS if k in info.kinds)
+
+
+def test_domain_for_kind_default():
+    assert domain_for_kind("sdc") == "sdc"
+    assert domain_for_kind("no-such-kind", None) is None
+    with pytest.raises(KeyError):
+        domain_for_kind("no-such-kind")
+
+
+def test_simulator_dispatch_table_matches_registry():
+    sim = _sim()
+    for kind in FAULT_KINDS:
+        assert sim._domain_by_kind[kind].name == domain_for_kind(kind)
+        assert sim._domain_by_kind[kind].wants(kind)
+
+
+# -- FaultModel.kind_weights edges -------------------------------------------------
+
+
+def test_single_kind_weight_one_draws_only_that_kind():
+    model = FaultModel(node_mtbf_s=10.0, kind_weights={"straggler": 1.0})
+    import random
+
+    rng = random.Random(7)
+    assert {model.draw_kind(rng) for _ in range(64)} == {"straggler"}
+
+
+def test_kind_weights_sum_tolerance_boundary():
+    # |sum - 1| <= 1e-6 is accepted; just beyond is rejected.  9e-7 and
+    # 2e-6 sit clear of the boundary on either side so float rounding
+    # in the sum cannot flip the verdict.
+    FaultModel(
+        node_mtbf_s=10.0,
+        kind_weights={"software": 0.5, "node": 0.5 + 9e-7},
+    )
+    with pytest.raises(ValueError, match="must sum to 1"):
+        FaultModel(
+            node_mtbf_s=10.0,
+            kind_weights={"software": 0.5, "node": 0.5 + 2e-6},
+        )
+
+
+def test_unknown_kind_message_lists_sorted_unknowns():
+    with pytest.raises(ValueError) as err:
+        FaultModel(
+            node_mtbf_s=10.0,
+            kind_weights={"zz_bogus": 0.5, "aa_bogus": 0.5},
+        )
+    assert "['aa_bogus', 'zz_bogus']" in str(err.value)
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError, match="must be >= 0"):
+        FaultModel(
+            node_mtbf_s=10.0,
+            kind_weights={"software": 1.5, "node": -0.5},
+        )
+
+
+# -- FaultDomain protocol ----------------------------------------------------------
+
+
+def test_snapshot_restore_round_trip():
+    sim = _sim()
+    dom = sim._straggler_dom
+    dom.node_slowdown[1] = 3.0
+    dom.excess_s = 1.25
+    state = dom.snapshot_state()
+    assert "sim" not in state and "ctx" not in state
+    dom.node_slowdown.clear()
+    dom.excess_s = 0.0
+    dom.restore_state(state)
+    assert dom.node_slowdown == {1: 3.0}
+    assert dom.excess_s == 1.25
+
+
+def test_restore_state_rejects_wiring_attrs():
+    sim = _sim()
+    with pytest.raises(ValueError, match="wiring"):
+        sim._straggler_dom.restore_state({"sim": None})
+
+
+def test_unknown_kind_injection_message():
+    sim = _sim()
+    with pytest.raises(ValueError, match="unknown fault kind 'meteor'"):
+        sim.inject_fault(0, kind="meteor")
+
+
+# -- NodeRangeError through the NetworkDomain path ---------------------------------
+
+
+def test_out_of_range_edge_raises_node_range_error():
+    sim = _sim()
+    with pytest.raises(NodeRangeError):
+        sim.inject_fault(0, kind="link", detail=FaultDetail(edge=(0, 999)))
+
+
+def test_node_range_error_is_both_index_and_value_error():
+    sim = _sim()
+    with pytest.raises(IndexError):
+        sim.inject_fault(0, kind="link", detail=FaultDetail(edge=(0, 999)))
+    with pytest.raises(ValueError):
+        sim.inject_fault(0, kind="link", detail=FaultDetail(edge=(0, 999)))
+
+
+# -- structured fault-config parsing -----------------------------------------------
+
+
+def test_campaign_kwargs_from_config_round_trip():
+    cfg = {
+        "mix": {"software": 0.5, "sdc": 0.5},
+        "sdc": {"coverage": 0.8, "correct_prob": 0.25},
+        "straggler": {"slowdown": 3.0, "repair_s": 10.0},
+        "network": {
+            "link_mtbf_s": 50.0,
+            "repair_s": 5.0,
+            "topology": "fattree",
+            "fault_split": {"link": 0.7, "switch": 0.2, "netdeg": 0.1},
+        },
+        "failstop": {"burst_size": 4},
+    }
+    kwargs = campaign_kwargs_from_config(cfg)
+    assert kwargs["fault_mix"] == {"software": 0.5, "sdc": 0.5}
+    assert kwargs["sdc_coverage"] == 0.8
+    assert kwargs["straggler_slowdown"] == 3.0
+    assert kwargs["net_link_mtbf_s"] == 50.0
+    assert kwargs["net_topology"] == "fattree"
+    assert kwargs["net_fault_split"] == (
+        ("link", 0.7),
+        ("netdeg", 0.1),
+        ("switch", 0.2),
+    )
+    # every produced kwarg must be a real CampaignSpec field
+    spec = CampaignSpec(node_mtbf_s=10.0, ckpt_period=5, **kwargs)
+    assert spec.sdc_correct_prob == 0.25
+
+
+def test_fault_config_rejects_unknown_section_and_field():
+    with pytest.raises(ValueError, match="unknown fault-config section"):
+        campaign_kwargs_from_config({"cosmic": {}})
+    with pytest.raises(ValueError, match="unknown field"):
+        campaign_kwargs_from_config({"sdc": {"coverage": 0.9, "volts": 1.2}})
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        campaign_kwargs_from_config({"mix": {"meteor": 1.0}})
+
+
+# -- CLI layer ---------------------------------------------------------------------
+
+
+def test_faults_list_cli(capsys):
+    from repro.cli import main
+
+    assert main(["faults", "list"]) == 0
+    out = capsys.readouterr().out
+    for info in REGISTRY:
+        assert info.name in out
+    for kind in FAULT_KINDS:
+        assert kind in out
+
+
+def test_fault_config_flag_precedence(tmp_path):
+    from repro.cli import _apply_fault_config, _build_parser
+
+    cfg = tmp_path / "faults.json"
+    cfg.write_text(
+        json.dumps({"sdc": {"coverage": 0.8}, "network": {"repair_s": 7.0}})
+    )
+    # file overrides defaults
+    args = _build_parser().parse_args(
+        ["campaign", "--fault-config", str(cfg)]
+    )
+    _apply_fault_config(args)
+    assert args.sdc_coverage == 0.8
+    assert args.net_repair_time == 7.0
+    # explicit flag beats the file
+    args = _build_parser().parse_args(
+        ["campaign", "--fault-config", str(cfg), "--sdc-coverage", "0.99"]
+    )
+    _apply_fault_config(args)
+    assert args.sdc_coverage == 0.99
+    assert args.net_repair_time == 7.0
+
+
+def test_fault_config_bad_file_exits(tmp_path):
+    from repro.cli import _apply_fault_config, _build_parser
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    args = _build_parser().parse_args(
+        ["campaign", "--fault-config", str(bad)]
+    )
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        _apply_fault_config(args)
