@@ -704,7 +704,6 @@ class BESSTSimulator:
         ctx.note("inject", fault=fid, fault_kind=kind, node=node)
         domain.apply(kind, node, detail, event, fid)
 
-
     # -- snapshot / restore -----------------------------------------------------------------
 
     def enable_snapshots(
